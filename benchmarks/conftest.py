@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Each benchmark regenerates (a scaled-down version of) one table or figure
+of the paper and asserts the *shape* of the result — who wins, roughly by
+how much, where the knees fall — rather than absolute numbers, which
+depend on network size and simulator internals.
+
+Benchmarks default to the ``quick`` scale (8x8 networks, short windows)
+so ``pytest benchmarks/ --benchmark-only`` completes in minutes; set
+``REPRO_SCALE=paper`` for full 16x16 runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.settings import get_scale
+from repro.sim import SimulationConfig, Simulator, sweep_rates
+from repro.sim.runner import saturation_utilization
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+def scenario_config(topology: str, percent: int, scale, **kwargs) -> SimulationConfig:
+    defaults = dict(
+        topology=topology,
+        radix=scale.radix,
+        dims=2,
+        fault_percent=percent,
+        warmup_cycles=scale.warmup_cycles,
+        measure_cycles=scale.measure_cycles,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+def run_sweep(topology: str, percent: int, scale, **kwargs):
+    base = scenario_config(topology, percent, scale, **kwargs)
+    return sweep_rates(base, scale.rate_grids[percent])
+
+
+def peak(results) -> float:
+    return saturation_utilization(results)
+
+
+def run_one(config: SimulationConfig):
+    return Simulator(config).run()

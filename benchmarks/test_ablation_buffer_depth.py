@@ -1,0 +1,57 @@
+"""Ablation: flit buffer depth.
+
+Section 6: "Each virtual channel has a buffer of depth four to pipeline
+message transmission smoothly.  Because of asynchronous pipelining of
+message transmission among nodes, bubbles are created with shallow
+buffers of depth 1 or 2."
+"""
+
+import pytest
+
+from .conftest import run_one, scenario_config
+
+
+@pytest.fixture(scope="module")
+def depth_results(scale):
+    rate = scale.rate_grids[0][-2]  # high load where bubbles matter
+    return {
+        depth: run_one(scenario_config("torus", 0, scale, buffer_depth=depth, rate=rate))
+        for depth in (1, 2, 4, 8)
+    }
+
+
+class TestBufferDepthAblation:
+    def test_depth_four_run(self, benchmark, scale):
+        config = scenario_config(
+            "torus", 0, scale, buffer_depth=4, rate=scale.rate_grids[0][-2]
+        )
+        result = benchmark.pedantic(lambda: run_one(config), rounds=1, iterations=1)
+        assert result.delivered > 0
+
+    def test_depth_one_run(self, benchmark, scale):
+        config = scenario_config(
+            "torus", 0, scale, buffer_depth=1, rate=scale.rate_grids[0][-2]
+        )
+        result = benchmark.pedantic(lambda: run_one(config), rounds=1, iterations=1)
+        assert result.delivered > 0
+
+    def test_shape_shallow_buffers_create_bubbles(self, benchmark, depth_results):
+        throughputs = benchmark.pedantic(
+            lambda: {
+                d: r.throughput_flits_per_cycle for d, r in depth_results.items()
+            },
+            rounds=1,
+            iterations=1,
+        )
+        # depth 4 clearly beats depth 1 (pipeline bubbles)
+        assert throughputs[4] > 1.15 * throughputs[1]
+        # returns diminish: 8 is not much better than 4
+        assert throughputs[8] < 1.25 * throughputs[4]
+
+    def test_shape_monotone_through_depth_four(self, benchmark, depth_results):
+        throughputs = benchmark.pedantic(
+            lambda: [depth_results[d].throughput_flits_per_cycle for d in (1, 2, 4)],
+            rounds=1,
+            iterations=1,
+        )
+        assert throughputs[0] <= throughputs[1] <= throughputs[2] * 1.02

@@ -1,0 +1,71 @@
+"""Ablation: node faults versus link faults.
+
+Section 6: "Node faults cause more severe congestion, since a node fault
+blocks both row and column messages while a link fault blocks only one
+type of messages."
+"""
+
+import pytest
+
+from repro.faults import FaultSet
+from repro.topology import Direction, Torus
+
+from .conftest import run_one, scenario_config
+
+
+def _config_with(scale, faults, rate):
+    return scenario_config("torus", 0, scale, faults=faults, rate=rate)
+
+
+@pytest.fixture(scope="module")
+def fault_kind_results(scale):
+    t = Torus(scale.radix, 2)
+    center = scale.radix // 2
+    rate = scale.rate_grids[1][-2]
+    node_fault = FaultSet.of(t, nodes=[(center, center)])
+    link_fault = FaultSet.of(t, links=[((center, center), 0, Direction.POS)])
+    return {
+        "node": run_one(_config_with(scale, node_fault, rate)),
+        "link": run_one(_config_with(scale, link_fault, rate)),
+        "none": run_one(scenario_config("torus", 0, scale, rate=rate)),
+    }
+
+
+class TestFaultKindAblation:
+    def test_single_node_fault_run(self, benchmark, scale):
+        t = Torus(scale.radix, 2)
+        faults = FaultSet.of(t, nodes=[(2, 2)])
+        config = _config_with(scale, faults, scale.rate_grids[1][-2])
+        result = benchmark.pedantic(lambda: run_one(config), rounds=1, iterations=1)
+        assert result.misrouted_messages > 0
+
+    def test_single_link_fault_run(self, benchmark, scale):
+        t = Torus(scale.radix, 2)
+        faults = FaultSet.of(t, links=[((2, 2), 1, Direction.POS)])
+        config = _config_with(scale, faults, scale.rate_grids[1][-2])
+        result = benchmark.pedantic(lambda: run_one(config), rounds=1, iterations=1)
+        assert result.misrouted_messages > 0
+
+    def test_shape_node_fault_worse_than_link_fault(self, benchmark, fault_kind_results):
+        stats = benchmark.pedantic(
+            lambda: {
+                kind: (r.throughput_flits_per_cycle, r.avg_latency, r.misrouted_messages)
+                for kind, r in fault_kind_results.items()
+            },
+            rounds=1,
+            iterations=1,
+        )
+        # a node fault detours more messages than a single link fault
+        assert stats["node"][2] > stats["link"][2]
+        # and any fault detours more than none
+        assert stats["link"][2] > stats["none"][2] == 0
+
+    def test_shape_first_fault_dominates(self, benchmark, fault_kind_results):
+        def drop():
+            none = fault_kind_results["none"].throughput_flits_per_cycle
+            node = fault_kind_results["node"].throughput_flits_per_cycle
+            return (none - node) / none
+
+        relative_drop = benchmark.pedantic(drop, rounds=1, iterations=1)
+        # one node fault already costs real throughput at high load
+        assert relative_drop > 0.02

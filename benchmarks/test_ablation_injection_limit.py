@@ -1,0 +1,54 @@
+"""Ablation: the injection limit.
+
+Section 6: "After some experimentation, we have set the injection limit
+to 2 ... the injection limit has little effect on the latency and
+throughput values prior to the saturation."
+"""
+
+import pytest
+
+from .conftest import run_one, scenario_config
+
+
+@pytest.fixture(scope="module")
+def limit_results(scale):
+    rate = scale.rate_grids[0][1]  # clearly below saturation
+    return {
+        limit: run_one(scenario_config("torus", 0, scale, injection_limit=limit, rate=rate))
+        for limit in (1, 2, 4)
+    }
+
+
+class TestInjectionLimitAblation:
+    def test_limit_two_run(self, benchmark, scale):
+        config = scenario_config(
+            "torus", 0, scale, injection_limit=2, rate=scale.rate_grids[0][1]
+        )
+        result = benchmark.pedantic(lambda: run_one(config), rounds=1, iterations=1)
+        assert result.delivered > 0
+
+    def test_shape_little_effect_below_saturation(self, benchmark, limit_results):
+        def spread():
+            throughputs = [r.throughput_flits_per_cycle for r in limit_results.values()]
+            return (max(throughputs) - min(throughputs)) / max(throughputs)
+
+        relative_spread = benchmark.pedantic(spread, rounds=1, iterations=1)
+        # below saturation the limit barely matters (paper's claim)
+        assert relative_spread < 0.1
+
+    def test_latency_similar_below_saturation(self, benchmark, limit_results):
+        def spread():
+            latencies = [r.avg_latency for r in limit_results.values()]
+            return (max(latencies) - min(latencies)) / max(latencies)
+
+        assert benchmark.pedantic(spread, rounds=1, iterations=1) < 0.3
+
+    def test_limit_bounds_saturated_latency(self, benchmark, scale):
+        """At and beyond saturation the limit is what keeps measured
+        latencies finite (the reason the paper introduced it)."""
+        config = scenario_config(
+            "torus", 0, scale, injection_limit=2, rate=scale.rate_grids[0][-1] * 1.6
+        )
+        result = benchmark.pedantic(lambda: run_one(config), rounds=1, iterations=1)
+        assert result.final_source_queue > 0  # offered load not sustainable
+        assert result.avg_latency < 10_000  # latency stays bounded

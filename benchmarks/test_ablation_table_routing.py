@@ -1,0 +1,77 @@
+"""Ablation: the paper's f-ring routing vs the T3D table baseline.
+
+Section 2 notes the T3D's programmable routing tables "can be used to
+provide a rudimentary fault-tolerant routing to handle one fault".  This
+ablation quantifies the gap that motivates the paper: the table scheme
+pays two full dimension-order traversals per detour, cannot share idle
+virtual channels (its leg ordering forbids it), and loses coverage on
+patterns a single intermediate cannot solve.
+"""
+
+import pytest
+
+from repro.core import TableRouting
+from repro.faults import FaultSet, validate_fault_pattern
+from repro.sim import SimulationConfig
+from repro.topology import Torus
+
+from .conftest import run_one
+
+
+def single_fault_config(scale, algorithm, rate):
+    torus = Torus(scale.radix, 2)
+    center = scale.radix // 2
+    faults = FaultSet.of(torus, nodes=[(center, center)])
+    return SimulationConfig(
+        topology="torus",
+        radix=scale.radix,
+        dims=2,
+        faults=faults,
+        routing_algorithm=algorithm,
+        rate=rate,
+        warmup_cycles=scale.warmup_cycles,
+        measure_cycles=scale.measure_cycles,
+    )
+
+
+@pytest.fixture(scope="module")
+def comparison(scale):
+    rate = scale.rate_grids[1][-2]
+    return {
+        algorithm: run_one(single_fault_config(scale, algorithm, rate))
+        for algorithm in ("ft", "table")
+    }
+
+
+class TestTableBaseline:
+    def test_table_point(self, benchmark, scale):
+        config = single_fault_config(scale, "table", scale.rate_grids[1][1])
+        result = benchmark.pedantic(lambda: run_one(config), rounds=1, iterations=1)
+        assert result.delivered > 0
+
+    def test_ft_point(self, benchmark, scale):
+        config = single_fault_config(scale, "ft", scale.rate_grids[1][1])
+        result = benchmark.pedantic(lambda: run_one(config), rounds=1, iterations=1)
+        assert result.delivered > 0
+
+    def test_shape_ft_at_least_matches_table(self, benchmark, comparison):
+        throughputs = benchmark.pedantic(
+            lambda: {a: r.throughput_flits_per_cycle for a, r in comparison.items()},
+            rounds=1,
+            iterations=1,
+        )
+        assert throughputs["ft"] >= 0.95 * throughputs["table"]
+
+    def test_shape_table_coverage_drops_on_hard_patterns(self, benchmark):
+        """The baseline 'handles one fault'; adversarial link pairs defeat
+        it while the f-ring scheme routes everything."""
+        from repro.topology import Direction, Mesh
+
+        mesh = Mesh(8, 2)
+        faults = FaultSet.of(
+            mesh,
+            links=[((0, 0), 0, Direction.POS), ((0, 0), 1, Direction.POS)],
+        )
+        routing = TableRouting(mesh, faults)
+        coverage = benchmark.pedantic(routing.table_coverage, rounds=1, iterations=1)
+        assert coverage < 1.0

@@ -1,0 +1,93 @@
+"""Ablation: idle virtual channel sharing.
+
+Section 6: "On physical channels that are neither faulty nor part of
+f-rings, all the simulated virtual channels are used to route normal
+messages.  Since on each such physical channel only one dimension
+messages travel, extra channels are available to reduce channel
+congestion."  Disabling the sharing should cost fault-free throughput.
+"""
+
+import pytest
+
+from repro.sim import sweep_rates
+from repro.sim.runner import saturation_utilization
+
+from .conftest import run_one, scenario_config
+
+
+@pytest.fixture(scope="module")
+def sharing_sweeps(scale):
+    sweeps = {}
+    for share in (True, False):
+        base = scenario_config("torus", 0, scale, share_idle_vcs=share)
+        sweeps[share] = sweep_rates(base, scale.rate_grids[0])
+    return sweeps
+
+
+class TestVcSharingAblation:
+    def test_with_sharing(self, benchmark, scale):
+        base = scenario_config("torus", 0, scale, rate=scale.rate_grids[0][-1])
+        from .conftest import run_one
+
+        result = benchmark.pedantic(lambda: run_one(base), rounds=1, iterations=1)
+        assert result.delivered > 0
+
+    def test_without_sharing(self, benchmark, scale):
+        base = scenario_config(
+            "torus", 0, scale, share_idle_vcs=False, rate=scale.rate_grids[0][-1]
+        )
+        from .conftest import run_one
+
+        result = benchmark.pedantic(lambda: run_one(base), rounds=1, iterations=1)
+        assert result.delivered > 0
+
+    def test_shape_sharing_helps_fault_free(self, benchmark, sharing_sweeps):
+        peaks = benchmark.pedantic(
+            lambda: {s: saturation_utilization(r) for s, r in sharing_sweeps.items()},
+            rounds=1,
+            iterations=1,
+        )
+        # sharing must not hurt, and should measurably help at saturation
+        assert peaks[True] >= peaks[False]
+        assert peaks[True] > 0.9 * peaks[False]
+
+
+class TestOverlappingRingsExtension:
+    """Reference [8]: overlapping f-rings need more virtual channels.
+    Regenerates the extension's headline evidence: the layered allocation
+    keeps the dependency graph acyclic and traffic flowing."""
+
+    def test_overlapping_rings_sim(self, benchmark, scale):
+        from repro.faults import FaultSet
+        from repro.sim import SimulationConfig
+        from repro.topology import Torus
+
+        radix = max(scale.radix, 10)
+        torus = Torus(radix, 2)
+        faults = FaultSet.of(torus, nodes=[(4, 3), (5, 5)])
+        config = SimulationConfig(
+            topology="torus", radix=radix, dims=2, faults=faults,
+            allow_overlapping_rings=True, rate=scale.rate_grids[5][1],
+            warmup_cycles=scale.warmup_cycles, measure_cycles=scale.measure_cycles,
+        )
+        result = benchmark.pedantic(lambda: run_one(config), rounds=1, iterations=1)
+        assert result.num_vcs == 8
+        assert result.misrouted_messages > 0
+
+    def test_overlapping_rings_cdg(self, benchmark):
+        from repro.analysis import assert_deadlock_free
+        from repro.faults import FaultSet
+        from repro.sim import SimNetwork, SimulationConfig
+        from repro.topology import Torus
+
+        torus = Torus(10, 2)
+        faults = FaultSet.of(torus, nodes=[(4, 3), (5, 5)])
+        config = SimulationConfig(
+            topology="torus", radix=10, dims=2, faults=faults,
+            allow_overlapping_rings=True,
+        )
+
+        def check():
+            return assert_deadlock_free(SimNetwork(config), include_sharing=True)
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1) > 0

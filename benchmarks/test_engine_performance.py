@@ -1,0 +1,84 @@
+"""Engine performance benchmarks (simulator cycles/second).
+
+These are the only benchmarks here that measure *wall-clock speed* rather
+than reproducing a paper result; they guard against performance
+regressions in the hot loop (important because the paper-scale 16x16
+sweeps run thousands of cycles per point).
+"""
+
+import pytest
+
+from repro.sim import SimulationConfig, Simulator
+
+
+def make_sim(load: float, **kwargs):
+    defaults = dict(
+        topology="torus", radix=8, dims=2, rate=load,
+        warmup_cycles=0, measure_cycles=10,
+    )
+    defaults.update(kwargs)
+    sim = Simulator(SimulationConfig(**defaults))
+    for _ in range(300):  # reach steady occupancy before timing
+        sim.step()
+    return sim
+
+
+class TestEngineSpeed:
+    def test_idle_cycles(self, benchmark):
+        sim = make_sim(0.0)
+
+        def run():
+            for _ in range(500):
+                sim.step()
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_moderate_load_cycles(self, benchmark):
+        sim = make_sim(0.01)
+
+        def run():
+            for _ in range(300):
+                sim.step()
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_saturated_cycles(self, benchmark):
+        sim = make_sim(0.04)
+
+        def run():
+            for _ in range(200):
+                sim.step()
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_saturated_with_faults(self, benchmark):
+        sim = make_sim(0.03, fault_percent=5)
+
+        def run():
+            for _ in range(200):
+                sim.step()
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_routing_decisions_per_second(self, benchmark):
+        from repro.core import FaultTolerantRouting
+        from repro.faults import FaultSet, validate_fault_pattern
+        from repro.topology import Torus
+
+        torus = Torus(16, 2)
+        faults = FaultSet.of(torus, nodes=[(5, 5), (6, 5), (5, 6), (6, 6)])
+        scenario = validate_fault_pattern(torus, faults)
+        routing = FaultTolerantRouting.for_scenario(torus, scenario)
+        healthy = [c for c in torus.nodes() if c not in scenario.faults.node_faults]
+
+        def route_many():
+            count = 0
+            for src in healthy[::4]:
+                for dst in healthy[::4]:
+                    if src != dst:
+                        routing.route_path(src, dst)
+                        count += 1
+            return count
+
+        routed = benchmark.pedantic(route_many, rounds=1, iterations=1)
+        assert routed > 3_000

@@ -1,0 +1,83 @@
+"""Figure 10: pipelined vs unpipelined PDRs in a fault-free 2D mesh with
+two virtual channels per physical channel.
+
+Paper shape (16x16, same clock): the unpipelined router has ~30 cycles
+lower latency and ~5 percentage points higher bisection utilization.
+Text comparison: with the unpipelined clock 30% slower (Chien's model),
+message delays equalize and the pipelined router delivers >20% more
+bytes/second.
+"""
+
+import pytest
+
+from repro.router import PIPELINED, UNPIPELINED, UNPIPELINED_SLOW_CLOCK
+from repro.sim import sweep_rates
+from repro.sim.runner import saturation_utilization
+
+from .conftest import scenario_config
+
+
+@pytest.fixture(scope="module")
+def pipeline_sweeps(scale):
+    sweeps = {}
+    for timing in (PIPELINED, UNPIPELINED):
+        base = scenario_config("mesh", 0, scale, timing=timing)
+        sweeps[timing.name] = sweep_rates(base, scale.rate_grids[0])
+    return sweeps
+
+
+class TestFig10:
+    def test_pipelined_curve(self, benchmark, scale):
+        base = scenario_config("mesh", 0, scale, timing=PIPELINED, rate=scale.rate_grids[0][1])
+        from .conftest import run_one
+
+        result = benchmark.pedantic(lambda: run_one(base), rounds=1, iterations=1)
+        assert result.delivered > 0
+
+    def test_unpipelined_curve(self, benchmark, scale):
+        base = scenario_config("mesh", 0, scale, timing=UNPIPELINED, rate=scale.rate_grids[0][1])
+        from .conftest import run_one
+
+        result = benchmark.pedantic(lambda: run_one(base), rounds=1, iterations=1)
+        assert result.delivered > 0
+
+    def test_shape_same_clock(self, benchmark, pipeline_sweeps):
+        def shape():
+            pipe = pipeline_sweeps["pipelined"]
+            unpipe = pipeline_sweeps["unpipelined"]
+            latency_gap = pipe[0].avg_latency - unpipe[0].avg_latency
+            util_gap = saturation_utilization(unpipe) - saturation_utilization(pipe)
+            return latency_gap, util_gap
+
+        latency_gap, util_gap = benchmark.pedantic(shape, rounds=1, iterations=1)
+        # unpipelined strictly faster at the same clock (paper: ~30 cycles
+        # at 16x16; scales with average hop count)
+        assert latency_gap > 5.0
+        # and slightly higher peak utilization (paper: ~5 points)
+        assert util_gap > -0.01
+
+    def test_shape_scaled_clock(self, benchmark, pipeline_sweeps):
+        """With the unpipelined clock 30% slower, the pipelined router
+        wins on throughput in bytes/second (paper: >20%)."""
+
+        def advantage():
+            pipe = max(
+                r.throughput_flits_per_cycle for r in pipeline_sweeps["pipelined"]
+            )
+            unpipe = max(
+                r.throughput_flits_per_cycle for r in pipeline_sweeps["unpipelined"]
+            )
+            return pipe / (unpipe / UNPIPELINED_SLOW_CLOCK.clock_scale)
+
+        ratio = benchmark.pedantic(advantage, rounds=1, iterations=1)
+        assert ratio > 1.1
+
+    def test_latency_equalizes_with_slow_clock(self, benchmark, pipeline_sweeps):
+        def gap():
+            pipe = pipeline_sweeps["pipelined"][0].avg_latency
+            unpipe = pipeline_sweeps["unpipelined"][0].avg_latency
+            return abs(unpipe * UNPIPELINED_SLOW_CLOCK.clock_scale - pipe) / pipe
+
+        relative_gap = benchmark.pedantic(gap, rounds=1, iterations=1)
+        # "both give rise to the same message delays" — within ~25%
+        assert relative_gap < 0.25

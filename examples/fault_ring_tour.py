@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""A visual tour of fault rings and misrouting (ASCII art).
+
+Draws a 2D torus with a block fault, the f-ring around it, and the
+paths the six message types take around the fault — the picture the
+paper's Figures 4 and 5 paint.
+
+Run:  python examples/fault_ring_tour.py
+"""
+
+from repro import FaultSet, FaultTolerantRouting, Torus, validate_fault_pattern
+
+RADIX = 10
+
+
+def draw(torus, scenario, paths):
+    """Grid rendering: '#' faulty, 'o' f-ring, digits for path overlays."""
+    grid = [["." for _ in range(torus.radix)] for _ in range(torus.radix)]
+    for ring in scenario.ring_index.rings:
+        for node in ring.perimeter_nodes():
+            grid[node[1]][node[0]] = "o"
+    for node in scenario.faults.node_faults:
+        grid[node[1]][node[0]] = "#"
+    for index, path in enumerate(paths):
+        marker = str(index + 1)
+        for node in path:
+            if grid[node[1]][node[0]] == ".":
+                grid[node[1]][node[0]] = marker
+    lines = []
+    for y in reversed(range(torus.radix)):  # dim-1 grows upward
+        lines.append(f"{y:2d} " + " ".join(grid[y]))
+    lines.append("   " + " ".join(f"{x}" for x in range(torus.radix)))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    torus = Torus(RADIX, 2)
+    faults = FaultSet.of(torus, nodes=[(4, 4), (5, 4), (4, 5), (5, 5)])
+    scenario = validate_fault_pattern(torus, faults)
+    routing = FaultTolerantRouting.for_scenario(torus, scenario)
+
+    cases = [
+        ("DIM0+ message (two sides, orientation toward destination)", (1, 4), (6, 4)),
+        ("DIM0- message (uses the other ring column)", (7, 5), (3, 5)),
+        ("DIM1+ message (three sides, fixed orientation)", (4, 1), (4, 6)),
+    ]
+    paths = []
+    for _title, src, dst in cases:
+        paths.append(routing.route_path(src, dst))
+
+    print(f"{RADIX}x{RADIX} torus; '#' = faulty block, 'o' = fault ring,")
+    print("digits = the numbered message paths below\n")
+    print(draw(torus, scenario, paths))
+    print()
+    for index, (title, src, dst) in enumerate(cases):
+        path = paths[index]
+        print(f"{index + 1}. {title}")
+        print(f"   {src} -> {dst} in {len(path) - 1} hops "
+              f"(minimal would be {torus.distance(src, dst)})")
+        print("   " + " ".join(str(n) for n in path))
+        print()
+
+    print("Virtual channel classes on each hop of path 3 (Table 1 rules):")
+    state = routing.initial_state(*cases[2][1:])
+    current = cases[2][1]
+    while True:
+        decision = routing.next_hop(state, current)
+        if decision.consume:
+            break
+        tag = "misroute" if decision.misrouting else "normal"
+        print(f"   {current} --DIM{decision.dim}{decision.direction.symbol}"
+              f"/c{decision.vc_class}--> ({tag})")
+        current = routing.commit_hop(state, current, decision)
+    print(f"   delivered at {current}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Overlapping fault rings: the interleaved-board scenario.
+
+Section 7: "To make the length of all links in a given dimension of the
+torus the same, often alternate nodes in a given dimension are placed
+physically close on the same circuit board.  In this case, the faults on
+a board lead to overlapping f-rings, which can be handled using more
+virtual channels than in the case of nonoverlapping f-rings [8]."
+
+This example builds such a pattern (two close faults whose rings share a
+link), shows the layer assignment that separates their detour traffic
+onto a second virtual channel bank, verifies deadlock freedom with the
+channel-dependency-graph analysis, and runs traffic through it.
+
+Run:  python examples/overlapping_rings.py
+"""
+
+from repro import FaultSet, SimulationConfig, Simulator, Torus, validate_fault_pattern
+from repro.analysis import assert_deadlock_free
+from repro.faults import RingGeometryError, shared_links_report
+from repro.sim import SimNetwork
+
+RADIX = 10
+FAULTS = [(4, 3), (5, 5)]  # diagonal neighbors on a folded-torus board
+
+
+def main() -> None:
+    torus = Torus(RADIX, 2)
+    faults = FaultSet.of(torus, nodes=FAULTS)
+
+    print(f"faults at {FAULTS} in a {RADIX}x{RADIX} torus")
+    try:
+        validate_fault_pattern(torus, faults)
+    except RingGeometryError as error:
+        print(f"base scheme rejects the pattern: {error}\n")
+
+    scenario = validate_fault_pattern(torus, faults, allow_overlapping_rings=True)
+    for region_a, region_b, count in shared_links_report(scenario.ring_index):
+        print(f"regions {region_a} and {region_b} share {count} f-ring link(s)")
+    print("misroute layers:", scenario.region_layers)
+    print("layer-1 detours ride a second virtual channel bank (c4..c7)\n")
+
+    config = SimulationConfig(
+        topology="torus",
+        radix=RADIX,
+        dims=2,
+        faults=faults,
+        allow_overlapping_rings=True,
+        rate=0.01,
+        warmup_cycles=500,
+        measure_cycles=3_000,
+    )
+    network = SimNetwork(config)
+    print(f"virtual channels per physical channel: {network.num_classes} "
+          "(4 base + 4 for the second misroute layer)")
+
+    vertices = assert_deadlock_free(network, include_sharing=True)
+    print(f"channel dependency graph: acyclic over {vertices} vertices "
+          "(mechanized deadlock-freedom for the [8] extension)\n")
+
+    simulator = Simulator(config, network)
+    result = simulator.run()
+    simulator.drain()
+    print(f"simulation: {result.delivered} messages, latency {result.avg_latency:.1f}, "
+          f"rho_b {100 * result.bisection_utilization:.1f}%, "
+          f"{result.misrouted_messages} detoured; drained clean at cycle {simulator.now}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a fault-tolerant PDR torus and print its metrics.
+
+Builds an 8x8 torus with the paper's "1% faults" scenario (one node and
+one link fault), runs uniform traffic through the flit-level simulator,
+and reports the two metrics of the paper: average message latency and
+bisection utilization.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SimulationConfig, Simulator
+
+
+def main() -> None:
+    config = SimulationConfig(
+        topology="torus",  # or "mesh"
+        radix=8,
+        dims=2,
+        fault_percent=1,  # the paper's 1%-links-faulty scenario
+        rate=0.01,  # messages per node per cycle (geometric interarrival)
+        warmup_cycles=500,
+        measure_cycles=3_000,
+        seed=42,
+    )
+    simulator = Simulator(config)
+    print("network:", simulator.net.describe())
+    faults = simulator.net.scenario.faults
+    print("faulty nodes:", sorted(faults.node_faults))
+    print("faulty links:", [(l.u, l.v) for l in sorted(faults.link_faults)])
+    print()
+
+    result = simulator.run()
+
+    print(f"applied load       : {result.applied_load_flits_per_node:.2f} flits/node/cycle")
+    print(f"delivered          : {result.delivered} messages "
+          f"({result.throughput_flits_per_cycle:.1f} flits/cycle)")
+    print(f"average latency    : {result.avg_latency:.1f} +- {result.latency_ci:.1f} cycles (95% CI)")
+    print(f"bisection util     : {100 * result.bisection_utilization:.1f}% "
+          f"of {result.bisection_bandwidth} flits/cycle")
+    print(f"misrouted messages : {result.misrouted_messages} "
+          f"(avg detour {result.avg_misroute_hops:.1f} hops)")
+
+    # Every message still in flight at the end of the measurement window
+    # can be drained — the routing algorithm is deadlock- and
+    # livelock-free, so this always terminates.
+    simulator.drain()
+    print(f"\ndrained cleanly at cycle {simulator.now}: "
+          f"{simulator.in_flight} messages left in flight")
+
+
+if __name__ == "__main__":
+    main()

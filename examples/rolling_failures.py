@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Rolling failures: components die while the network is running.
+
+Models the paper's operational story end to end: the machine runs, a
+board fails mid-flight (worms in transit through it are truncated and
+lost), the nodes detect the fault and form fault rings, and traffic keeps
+flowing around the wreckage — "the existing fault-free nodes should be
+used productively" while the mean time to repair is large (Section 3).
+
+The script runs one long simulation with a sequence of failure events
+and prints a timeline of throughput, latency and losses per epoch.
+
+Run:  python examples/rolling_failures.py
+"""
+
+from repro import SimulationConfig, Simulator
+from repro.analysis import format_table
+
+RADIX = 10
+EPOCH = 3_000
+EVENTS = [
+    ("node (7,7) dies", dict(nodes=[(7, 7)])),
+    ("link (2,3)-(3,3) dies", dict(links=[((2, 3), 0, 1)])),
+    ("board (4..5, 6..7) loses power", dict(nodes=[(4, 6), (5, 6), (4, 7), (5, 7)])),
+]
+
+
+def epoch_stats(sim, cycles):
+    """Run one epoch and return (delivered, avg latency) measured inside
+    it, then zero the counters for the next epoch."""
+    sim._start_measurement()
+    for _ in range(cycles):
+        sim.step()
+    delivered = sim.delivered
+    latency = sim.latency_sum / delivered if delivered else 0.0
+    # reset counters for the next epoch
+    sim.delivered = 0
+    sim.delivered_flits = 0
+    sim.latency_sum = 0.0
+    sim.queueing_sum = 0.0
+    sim.bisection_messages = 0
+    sim.misrouted_messages = 0
+    sim.misroute_hop_sum = 0
+    return delivered, latency
+
+
+def main() -> None:
+    config = SimulationConfig(
+        topology="torus",
+        radix=RADIX,
+        dims=2,
+        rate=0.008,
+        warmup_cycles=0,
+        measure_cycles=EPOCH,
+    )
+    sim = Simulator(config)
+    print(f"{RADIX}x{RADIX} torus under continuous load; one failure event per epoch\n")
+
+    rows = []
+    delivered, latency = epoch_stats(sim, EPOCH)
+    rows.append(["healthy", delivered, latency, 0, 0, len(sim.net.healthy)])
+
+    for label, event in EVENTS:
+        report = sim.inject_runtime_fault(**event)
+        delivered, latency = epoch_stats(sim, EPOCH)
+        rows.append(
+            [
+                label,
+                delivered,
+                latency,
+                report.dropped_in_flight,
+                report.dropped_queued,
+                len(sim.net.healthy),
+            ]
+        )
+
+    print(
+        format_table(
+            ["epoch", "delivered", "avg latency", "lost in flight", "lost queued", "healthy nodes"],
+            rows,
+        )
+    )
+
+    sim.drain()
+    print(f"\nfinal drain clean at cycle {sim.now}; "
+          f"{len(sim.net.scenario.ring_index.rings)} fault rings active")
+    print("each event costs a handful of in-flight worms (fail-stop truncation)")
+    print("and a throughput step, but the network never deadlocks or stalls.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Secure space-sharing: allocate a block of nodes to one job and hide it
+from everyone else's traffic.
+
+Section 3: "the routing techniques developed here can be used to provide
+a secure computation environment within a multiprogramming mode ... By
+treating such a block of processors and links as faulty in routing the
+other messages, the proposed techniques can be applied for on-the-fly
+allocation and release of blocks of nodes for special-purpose
+computations."
+
+This example "allocates" a 3x3 partition in a 10x10 torus, routes the
+rest of the system's traffic around it as if it were faulty, and then
+verifies the isolation property: no outside message ever touches a node
+or link of the partition.
+
+Run:  python examples/secure_partition.py
+"""
+
+from repro import FaultSet, SimulationConfig, Simulator, Torus
+from repro.topology import BiLink
+
+RADIX = 10
+PARTITION = [(x, y) for x in (4, 5, 6) for y in (4, 5, 6)]
+
+
+def partition_links(torus: Torus) -> set:
+    """All links with at least one endpoint inside the partition."""
+    inside = set(PARTITION)
+    links = set()
+    for node in inside:
+        for dim, _direction, other in torus.neighbors(node):
+            links.add(BiLink.between(node, other, dim, torus.radix))
+    return links
+
+
+def main() -> None:
+    torus = Torus(RADIX, 2)
+    # Treat the partition as a block fault for everyone else's routing.
+    allocation = FaultSet.of(torus, nodes=PARTITION)
+    config = SimulationConfig(
+        topology="torus",
+        radix=RADIX,
+        dims=2,
+        faults=allocation,
+        rate=0.008,
+        warmup_cycles=500,
+        measure_cycles=3_000,
+    )
+    simulator = Simulator(config)
+    print(f"allocated partition {PARTITION[0]}..{PARTITION[-1]} "
+          f"({len(PARTITION)} nodes) in a {RADIX}x{RADIX} torus")
+    print("outside traffic is routed as if the partition were a block fault\n")
+
+    result = simulator.run()
+    simulator.drain()
+
+    # Isolation check: walk every route the outside world could use and
+    # confirm it never enters the partition.
+    inside_nodes = set(PARTITION)
+    inside_links = partition_links(torus)
+    routing = simulator.net.routing
+    outside = [c for c in torus.nodes() if c not in inside_nodes]
+    violations = 0
+    checked = 0
+    for src in outside:
+        for dst in outside[:: max(1, len(outside) // 30)]:
+            if src == dst:
+                continue
+            path = routing.route_path(src, dst)
+            checked += 1
+            for a, b in zip(path, path[1:]):
+                dim = next(d for d in range(2) if a[d] != b[d])
+                if a in inside_nodes or b in inside_nodes or (
+                    BiLink.between(a, b, dim, RADIX) in inside_links
+                ):
+                    violations += 1
+    print(f"isolation check: {checked} outside routes walked, "
+          f"{violations} partition intrusions (must be 0)")
+    assert violations == 0
+
+    print(f"\noutside-world performance while the partition is allocated:")
+    print(f"  latency {result.avg_latency:.1f} cycles, "
+          f"rho_b {100 * result.bisection_utilization:.1f}%, "
+          f"{result.misrouted_messages} messages detoured around the partition")
+    print("\nreleasing the partition simply rebuilds the network without the "
+          "synthetic fault — no hardware reconfiguration needed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""repro — reproduction of *Fault-Tolerance with Multimodule Routers*
+(Chalasani & Boppana, HPCA 1996).
+
+The package implements, from scratch:
+
+* the (k, n)-torus / mesh topology substrate (:mod:`repro.topology`);
+* the convex block-fault model with fault rings (:mod:`repro.faults`);
+* the paper's fault-tolerant routing algorithm for partitioned
+  dimension-order routers, including the Table 1/2 virtual channel
+  allocation (:mod:`repro.core`);
+* PDR and crossbar router organizations with interchip channels and
+  pipelined/unpipelined timing (:mod:`repro.router`);
+* a flit-level wormhole simulator with the paper's traffic model and
+  metrics (:mod:`repro.sim`);
+* channel-dependency-graph analysis mechanizing the deadlock-freedom
+  lemma (:mod:`repro.analysis`);
+* harnesses regenerating every figure of the evaluation
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import SimulationConfig, Simulator
+
+    config = SimulationConfig(topology="torus", radix=16, dims=2,
+                              fault_percent=1, rate=0.005)
+    result = Simulator(config).run()
+    print(result.avg_latency, result.bisection_utilization)
+"""
+
+from .topology import BiLink, Coord, Direction, GridNetwork, Mesh, Torus, make_network
+from .faults import (
+    FaultRing,
+    FaultRingIndex,
+    FaultScenario,
+    FaultSet,
+    generate_fault_pattern,
+    paper_fault_scenario,
+    validate_fault_pattern,
+)
+from .core import (
+    Decision,
+    ECubeRouting,
+    FaultTolerantRouting,
+    MessageRoute,
+    RoutingError,
+)
+from .router import PIPELINED, UNPIPELINED, RouterTiming
+from .sim import (
+    DeadlockError,
+    SimNetwork,
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+    run_point,
+    sweep_rates,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PIPELINED",
+    "UNPIPELINED",
+    "BiLink",
+    "Coord",
+    "DeadlockError",
+    "Decision",
+    "Direction",
+    "ECubeRouting",
+    "FaultRing",
+    "FaultRingIndex",
+    "FaultScenario",
+    "FaultSet",
+    "FaultTolerantRouting",
+    "GridNetwork",
+    "Mesh",
+    "MessageRoute",
+    "RouterTiming",
+    "RoutingError",
+    "SimNetwork",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "Torus",
+    "generate_fault_pattern",
+    "make_network",
+    "paper_fault_scenario",
+    "run_point",
+    "sweep_rates",
+    "validate_fault_pattern",
+]

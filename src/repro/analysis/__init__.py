@@ -1,0 +1,45 @@
+"""Offline analyses: channel-dependency-graph checks and report formatting."""
+
+from .cdg import (
+    assert_deadlock_free,
+    build_cdg,
+    channel_walk,
+    find_dependency_cycle,
+    misroute_statistics,
+)
+from .instrumentation import (
+    ChannelLoad,
+    channel_utilizations,
+    hotspot_report,
+    latency_histogram,
+    latency_summary,
+    percentile,
+    utilization_heatmap,
+)
+from .report import (
+    ascii_chart,
+    format_table,
+    latency_series,
+    results_table,
+    utilization_series,
+)
+
+__all__ = [
+    "ChannelLoad",
+    "ascii_chart",
+    "channel_utilizations",
+    "hotspot_report",
+    "latency_histogram",
+    "latency_summary",
+    "percentile",
+    "utilization_heatmap",
+    "assert_deadlock_free",
+    "build_cdg",
+    "channel_walk",
+    "find_dependency_cycle",
+    "format_table",
+    "latency_series",
+    "misroute_statistics",
+    "results_table",
+    "utilization_series",
+]

@@ -1,0 +1,108 @@
+"""Plain-text reporting helpers for the experiment harnesses.
+
+The paper presents its results as latency-vs-load and utilization-vs-load
+curves (Figures 8-10).  The harness prints the same series as aligned
+text tables plus compact ASCII charts, so every figure can be eyeballed
+straight from a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..sim.metrics import SimulationResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def results_table(results: Sequence[SimulationResult]) -> str:
+    """The standard per-sweep table: one row per load point."""
+    headers = [
+        "rate",
+        "load f/n/c",
+        "thr f/c",
+        "rho_b %",
+        "latency",
+        "+-95%",
+        "msgs",
+        "misrouted",
+    ]
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                f"{r.rate:.4f}",
+                r.applied_load_flits_per_node,
+                r.throughput_flits_per_cycle,
+                100 * r.bisection_utilization,
+                r.avg_latency,
+                r.latency_ci,
+                r.delivered,
+                r.misrouted_messages,
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def ascii_chart(
+    series: Dict[str, List[tuple]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "load",
+    y_label: str = "value",
+) -> str:
+    """Rough ASCII scatter of several (x, y) series, one marker per
+    series.  Good enough to see saturation knees and curve ordering."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+            row = min(height - 1, int((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+    lines = [f"{y_label} [{y_lo:.1f} .. {y_hi:.1f}]   " + "  ".join(legend)]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x_lo:.3f} .. {x_hi:.3f}]")
+    return "\n".join(lines)
+
+
+def latency_series(results: Sequence[SimulationResult]) -> List[tuple]:
+    return [(r.applied_load_flits_per_node, r.avg_latency) for r in results]
+
+
+def utilization_series(results: Sequence[SimulationResult]) -> List[tuple]:
+    return [(r.applied_load_flits_per_node, 100 * r.bisection_utilization) for r in results]

@@ -1,0 +1,54 @@
+"""The paper's contribution: fault-tolerant routing for partitioned
+dimension-order routers."""
+
+from .ecube import (
+    ecube_hop,
+    ecube_hop_count,
+    ecube_path,
+    next_ecube_dim,
+    will_cross_dateline,
+)
+from .message_types import (
+    MessageRoute,
+    MisroutePhase,
+    MisrouteState,
+    RoutingError,
+)
+from .vc_allocation import (
+    MESH_NUM_CLASSES,
+    TORUS_NUM_CLASSES,
+    class_pair,
+    is_three_sided,
+    misroute_dim_of,
+    num_classes,
+    plane_of,
+    vc_class,
+)
+from .ft_routing import Decision, ECubeRouting, FaultTolerantRouting
+from .table_routing import TableRoute, TableRouting, TableRoutingError
+
+__all__ = [
+    "MESH_NUM_CLASSES",
+    "TORUS_NUM_CLASSES",
+    "Decision",
+    "ECubeRouting",
+    "FaultTolerantRouting",
+    "TableRoute",
+    "TableRouting",
+    "TableRoutingError",
+    "MessageRoute",
+    "MisroutePhase",
+    "MisrouteState",
+    "RoutingError",
+    "class_pair",
+    "ecube_hop",
+    "ecube_hop_count",
+    "ecube_path",
+    "is_three_sided",
+    "misroute_dim_of",
+    "next_ecube_dim",
+    "num_classes",
+    "plane_of",
+    "vc_class",
+    "will_cross_dateline",
+]

@@ -1,0 +1,63 @@
+"""Dimension-order (e-cube) routing.
+
+Each message completes all required hops in ``DIM_i`` before taking any
+hops in ``DIM_j`` for ``j > i``.  In a torus the travel direction within a
+dimension is the minimal one (ties resolve to the positive direction); in
+a mesh it is simply toward the destination.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..topology import Coord, Direction, GridNetwork
+
+
+def next_ecube_dim(current: Coord, dst: Coord) -> Optional[int]:
+    """Lowest dimension in which ``current`` and ``dst`` still differ, or
+    ``None`` when the message has arrived."""
+    for dim in range(len(current)):
+        if current[dim] != dst[dim]:
+            return dim
+    return None
+
+
+def ecube_hop(network: GridNetwork, current: Coord, dst: Coord) -> Optional[Tuple[int, Direction]]:
+    """The e-cube next hop from ``current`` toward ``dst``, or ``None`` at
+    the destination."""
+    dim = next_ecube_dim(current, dst)
+    if dim is None:
+        return None
+    direction = network.minimal_direction(current[dim], dst[dim])
+    assert direction is not None
+    return dim, direction
+
+
+def ecube_path(network: GridNetwork, src: Coord, dst: Coord) -> List[Coord]:
+    """The full fault-free e-cube path, source and destination inclusive."""
+    path = [src]
+    current = src
+    while True:
+        hop = ecube_hop(network, current, dst)
+        if hop is None:
+            return path
+        dim, direction = hop
+        nxt = network.neighbor(current, dim, direction)
+        if nxt is None:  # pragma: no cover - minimal routing never exits a mesh
+            raise AssertionError("e-cube stepped off the mesh boundary")
+        path.append(nxt)
+        current = nxt
+
+
+def ecube_hop_count(network: GridNetwork, src: Coord, dst: Coord) -> int:
+    """Length of the fault-free e-cube path (equals the minimal distance)."""
+    return network.distance(src, dst)
+
+
+def will_cross_dateline(network: GridNetwork, current: Coord, dst: Coord, dim: int) -> bool:
+    """Whether the remaining travel in ``dim`` crosses the wraparound link
+    (used by tests; the routing state tracks this dynamically)."""
+    direction = network.minimal_direction(current[dim], dst[dim])
+    if direction is None:
+        return False
+    return network.crosses_dateline(current[dim], dst[dim], direction)

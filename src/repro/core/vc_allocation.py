@@ -1,0 +1,93 @@
+"""Virtual channel class allocation (the paper's Tables 1 and 2).
+
+Torus networks simulate four virtual channel classes ``c0..c3`` on every
+physical channel (internode and interchip); meshes need only two.  The
+allocation breaks every dependency introduced by f-ring misrouting:
+
+* ``M_i`` messages (still needing hops in ``DIM_i``) route in the plane
+  ``A_{i, i+1 mod n}`` and use the class pair ``(c0, c1)`` when ``i`` is
+  even and ``(c2, c3)`` when ``i`` is odd, switching from the first to the
+  second class of the pair upon reserving a wraparound link in ``DIM_i``.
+* The last dimension is special when ``n`` is odd (e.g. the paper's 3D
+  case, Table 1): ``M_{n-1}`` uses ``(c0, c1)`` while traveling in
+  ``DIM_{n-1}`` and ``(c2, c3)`` while traveling in ``DIM_0`` (its
+  misroute dimension), both selected by the ``DIM_{n-1}`` wraparound flag.
+* Meshes have no wraparound, so each pair collapses to a single class:
+  ``c0`` for even roles, ``c1`` for odd roles (and ``c1`` for the last
+  role's ``DIM_0`` misroute travel when ``n`` is odd).
+
+The allocation guarantees (Lemma 1) that message types sharing a physical
+channel always use different classes; :mod:`repro.analysis.cdg` checks the
+resulting channel dependency graph mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Number of virtual channel classes per physical channel.
+TORUS_NUM_CLASSES = 4
+MESH_NUM_CLASSES = 2
+
+_EVEN_PAIR = (0, 1)
+_ODD_PAIR = (2, 3)
+
+
+def class_pair(dims: int, msg_dim: int, traveling_dim: int, *, torus: bool) -> Tuple[int, int]:
+    """The (pre-wraparound, post-wraparound) class pair an ``M_{msg_dim}``
+    message uses while traveling in ``traveling_dim``.
+
+    ``traveling_dim`` is either ``msg_dim`` itself (normal travel, and
+    two-sided misrouting keeps the same pair) or the message's misroute
+    dimension.
+    """
+    if not 0 <= msg_dim < dims:
+        raise ValueError(f"msg_dim {msg_dim} out of range for {dims}-D network")
+    last_dim_special = msg_dim == dims - 1 and dims % 2 == 1 and dims > 1
+    if last_dim_special and traveling_dim == 0 and msg_dim != 0:
+        # Table 1 third row / Table 2 last row: misroute travel in DIM_0.
+        pair = _ODD_PAIR
+    elif msg_dim % 2 == 0:
+        pair = _EVEN_PAIR
+    else:
+        pair = _ODD_PAIR
+    if torus:
+        return pair
+    # Meshes collapse each pair to one class (2 VCs per physical channel).
+    collapsed = pair[0] // 2
+    return (collapsed, collapsed)
+
+
+def vc_class(dims: int, msg_dim: int, traveling_dim: int, wrapped: bool, *, torus: bool) -> int:
+    """The designated class for one hop.
+
+    ``wrapped`` is true once the message has reserved a wraparound link in
+    its own dimension ``msg_dim`` (the hop *on* the wraparound link already
+    counts as wrapped, which is what breaks the ring cycle)."""
+    pair = class_pair(dims, msg_dim, traveling_dim, torus=torus)
+    return pair[1] if wrapped else pair[0]
+
+
+def num_classes(*, torus: bool) -> int:
+    """Virtual channels per physical channel required by the scheme."""
+    return TORUS_NUM_CLASSES if torus else MESH_NUM_CLASSES
+
+
+def misroute_dim_of(dims: int, msg_dim: int) -> int:
+    """The dimension an ``M_{msg_dim}`` message misroutes in: the other
+    dimension of its routing plane ``A_{msg_dim, msg_dim+1 mod n}``."""
+    if dims < 2:
+        raise ValueError("misrouting requires at least 2 dimensions")
+    return (msg_dim + 1) % dims
+
+
+def is_three_sided(dims: int, msg_dim: int) -> bool:
+    """Messages blocked in the final dimension travel three sides of the
+    f-ring (they have no later dimension in which to absorb the detour);
+    all others travel two sides."""
+    return msg_dim == dims - 1
+
+
+def plane_of(dims: int, msg_dim: int) -> Tuple[int, int]:
+    """The routing plane (unordered) of an ``M_{msg_dim}`` message."""
+    return (msg_dim, misroute_dim_of(dims, msg_dim))

@@ -1,0 +1,33 @@
+"""Harnesses regenerating every table and figure of the paper's
+evaluation (Section 6)."""
+
+from .figures import (
+    PAPER_PEAK_UTILIZATION,
+    PAPER_RAW_THROUGHPUT,
+    FigureResult,
+    fig8,
+    fig9,
+    fig10,
+    throughput_summary,
+)
+from .extension3d import ext3d
+from .settings import PAPER, QUICK, ExperimentScale, get_scale
+from .tables import lemma1_evidence, table1, table2
+
+__all__ = [
+    "PAPER",
+    "PAPER_PEAK_UTILIZATION",
+    "PAPER_RAW_THROUGHPUT",
+    "QUICK",
+    "ExperimentScale",
+    "FigureResult",
+    "fig8",
+    "fig9",
+    "ext3d",
+    "fig10",
+    "get_scale",
+    "lemma1_evidence",
+    "table1",
+    "table2",
+    "throughput_summary",
+]

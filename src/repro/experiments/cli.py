@@ -1,0 +1,108 @@
+"""Command-line entry point: ``repro-experiments`` / ``python -m
+repro.experiments``.
+
+Subcommands regenerate each figure/table of the paper::
+
+    repro-experiments fig8  --scale paper   # torus, 0/1/5% faults
+    repro-experiments fig9  --scale quick   # mesh
+    repro-experiments fig10                 # pipelined vs unpipelined
+    repro-experiments tables                # Tables 1 & 2 + Lemma 1 CDG check
+    repro-experiments throughput            # Section 6 raw numbers
+    repro-experiments all --scale paper --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from .extension3d import ext3d
+from .figures import fig8, fig9, fig10, throughput_summary
+from .tables import lemma1_evidence, table1, table2
+
+
+def _figure_runner(fn) -> Callable[[str], str]:
+    def run(scale: str) -> str:
+        result = fn(scale)
+        run.last_figure = result  # stashed for --json
+        return result.render()
+
+    run.last_figure = None
+    return run
+
+
+_COMMANDS: Dict[str, Callable[[str], str]] = {
+    "fig8": _figure_runner(fig8),
+    "fig9": _figure_runner(fig9),
+    "fig10": _figure_runner(fig10),
+    "tables": lambda _scale: "\n\n".join([table1(), table2(), lemma1_evidence()]),
+    "throughput": throughput_summary,
+    "ext3d": ext3d,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation of 'Fault-Tolerance with Multimodule "
+            "Routers' (Chalasani & Boppana, HPCA 1996)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="",
+        choices=["", "quick", "paper"],
+        help="quick (8x8, seconds) or paper (16x16, minutes); "
+        "defaults to $REPRO_SCALE or quick",
+    )
+    parser.add_argument("--out", default="", help="also write the report to this file")
+    parser.add_argument(
+        "--json",
+        default="",
+        help="for figure experiments: also dump the raw sweep results as JSON "
+        "to this file (for plotting pipelines)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    chunks: List[str] = []
+    for name in names:
+        start = time.time()
+        print(f"[repro] running {name} (scale={args.scale or 'default'}) ...", file=sys.stderr)
+        chunks.append(_COMMANDS[name](args.scale))
+        print(f"[repro] {name} done in {time.time() - start:.1f}s", file=sys.stderr)
+    report = "\n\n".join(chunks)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+    if args.json:
+        payload = {}
+        for name in names:
+            runner = _COMMANDS[name]
+            figure = getattr(runner, "last_figure", None)
+            if figure is not None:
+                payload[name] = {
+                    label: [r.to_dict() for r in sweep]
+                    for label, sweep in figure.sweeps.items()
+                }
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

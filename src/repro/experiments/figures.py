@@ -1,0 +1,228 @@
+"""Harnesses regenerating the paper's figures.
+
+* :func:`fig8` — 2D torus FT-PDR under 0/1/5% faults (paper Figure 8).
+* :func:`fig9` — 2D mesh FT-PDR under 0/1/5% faults (paper Figure 9).
+* :func:`fig10` — pipelined vs unpipelined PDRs in a fault-free mesh
+  (paper Figure 10), including the text's same-delay / higher-throughput
+  clock-scaling comparison.
+
+Each harness returns a :class:`FigureResult` holding the raw sweep
+results, the paper's reference numbers, and a plain-text rendering with
+tables and ASCII charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis.report import (
+    ascii_chart,
+    format_table,
+    latency_series,
+    results_table,
+    utilization_series,
+)
+from ..router.timing import PIPELINED, UNPIPELINED, UNPIPELINED_SLOW_CLOCK
+from ..sim import SimulationConfig, SimulationResult, Simulator, sweep_rates
+from ..sim.runner import saturation_utilization
+from .settings import ExperimentScale, get_scale
+
+#: Peak bisection utilizations reported in the paper's Section 6.
+PAPER_PEAK_UTILIZATION = {
+    ("torus", 0): 0.52,
+    ("torus", 1): 0.32,
+    ("torus", 5): 0.22,
+    ("mesh", 0): 0.58,
+    ("mesh", 1): 0.30,
+    ("mesh", 5): 0.27,
+}
+
+#: Raw fault-free throughputs quoted in the text (flits/cycle, 16x16).
+PAPER_RAW_THROUGHPUT = {"torus": 66.0, "mesh": 36.0}
+
+
+@dataclass
+class FigureResult:
+    name: str
+    title: str
+    sweeps: Dict[str, List[SimulationResult]]
+    notes: List[str] = field(default_factory=list)
+
+    def peak_utilization(self, label: str) -> float:
+        return saturation_utilization(self.sweeps[label])
+
+    def render(self) -> str:
+        lines = [f"=== {self.name}: {self.title} ===", ""]
+        for label, results in self.sweeps.items():
+            lines.append(f"--- {label} ---")
+            lines.append(results_table(results))
+            lines.append("")
+        lines.append(
+            ascii_chart(
+                {label: utilization_series(r) for label, r in self.sweeps.items()},
+                y_label="rho_b %",
+                x_label="applied load (flits/node/cycle)",
+            )
+        )
+        lines.append("")
+        lines.append(
+            ascii_chart(
+                {label: latency_series(r) for label, r in self.sweeps.items()},
+                y_label="latency (cycles)",
+                x_label="applied load (flits/node/cycle)",
+            )
+        )
+        lines.append("")
+        lines.extend(self.notes)
+        return "\n".join(lines)
+
+
+def _fault_sweep(
+    topology: str, scale: ExperimentScale, *, seed: int = 1, fault_seed: int = 7
+) -> FigureResult:
+    sweeps: Dict[str, List[SimulationResult]] = {}
+    notes: List[str] = []
+    for percent in (0, 1, 5):
+        base = SimulationConfig(
+            topology=topology,
+            radix=scale.radix,
+            dims=2,
+            fault_percent=percent,
+            fault_seed=fault_seed,
+            warmup_cycles=scale.warmup_cycles,
+            measure_cycles=scale.measure_cycles,
+            seed=seed,
+        )
+        sweeps[f"{percent}% faults"] = sweep_rates(base, scale.rate_grids[percent])
+    for percent in (0, 1, 5):
+        measured = saturation_utilization(sweeps[f"{percent}% faults"])
+        paper = PAPER_PEAK_UTILIZATION[(topology, percent)]
+        notes.append(
+            f"peak rho_b {percent}% faults: measured {100 * measured:.1f}% "
+            f"(paper, 16x16: {100 * paper:.0f}%)"
+        )
+    fault_free = sweeps["0% faults"]
+    best = max(fault_free, key=lambda r: r.throughput_flits_per_cycle)
+    notes.append(
+        f"raw fault-free throughput: {best.throughput_flits_per_cycle:.1f} flits/cycle "
+        f"(paper, 16x16: {PAPER_RAW_THROUGHPUT[topology]:.0f})"
+    )
+    if topology == "torus":
+        # One extra point with the paper's literal all-classes VC sharing,
+        # at the measured saturation rate: this reproduces the paper's
+        # fault-free peak exactly.  It is not used for the sweep because
+        # past saturation the all-classes mode can wedge (the dateline
+        # ordering is violated — the CDG analysis exhibits the cycle),
+        # which is why the library defaults to the rank-preserving mode.
+        config = SimulationConfig(
+            topology=topology,
+            radix=scale.radix,
+            dims=2,
+            fault_percent=0,
+            vc_sharing_mode="all",
+            rate=best.rate,
+            warmup_cycles=scale.warmup_cycles,
+            measure_cycles=scale.measure_cycles,
+            seed=seed,
+        )
+        aggressive = Simulator(config).run()
+        notes.append(
+            "paper-faithful all-VC sharing at the saturation rate: "
+            f"{aggressive.throughput_flits_per_cycle:.1f} flits/cycle, "
+            f"rho_b {100 * aggressive.bisection_utilization:.1f}% "
+            f"(paper: {PAPER_RAW_THROUGHPUT['torus']:.0f} flits/cycle, "
+            f"{100 * PAPER_PEAK_UTILIZATION[('torus', 0)]:.0f}%)"
+        )
+    return FigureResult(
+        name="fig8" if topology == "torus" else "fig9",
+        title=(
+            f"fault-tolerant PDR, 2D {topology} {scale.radix}x{scale.radix}, "
+            f"{'4' if topology == 'torus' else '2'} VCs/channel, 0/1/5% link faults"
+        ),
+        sweeps=sweeps,
+        notes=notes,
+    )
+
+
+def fig8(scale_name: str = "") -> FigureResult:
+    """Figure 8: performance of the fault-tolerant PDR in a 2D torus."""
+    return _fault_sweep("torus", get_scale(scale_name))
+
+
+def fig9(scale_name: str = "") -> FigureResult:
+    """Figure 9: performance of the fault-tolerant PDR in a 2D mesh."""
+    return _fault_sweep("mesh", get_scale(scale_name))
+
+
+def fig10(scale_name: str = "") -> FigureResult:
+    """Figure 10: pipelined vs unpipelined PDRs in a fault-free 2D mesh
+    with two virtual channels per physical channel."""
+    scale = get_scale(scale_name)
+    rates = scale.rate_grids[0]
+    sweeps: Dict[str, List[SimulationResult]] = {}
+    for timing in (PIPELINED, UNPIPELINED):
+        base = SimulationConfig(
+            topology="mesh",
+            radix=scale.radix,
+            dims=2,
+            timing=timing,
+            warmup_cycles=scale.warmup_cycles,
+            measure_cycles=scale.measure_cycles,
+        )
+        sweeps[timing.name] = sweep_rates(base, rates)
+    result = FigureResult(
+        name="fig10",
+        title=f"pipelined vs unpipelined PDR, fault-free {scale.radix}x{scale.radix} mesh, 2 VCs",
+        sweeps=sweeps,
+    )
+    pipe, unpipe = sweeps["pipelined"], sweeps["unpipelined"]
+    low = 0  # lowest-load point: uncontended latency gap
+    gap = pipe[low].avg_latency - unpipe[low].avg_latency
+    peak_gap = 100 * (saturation_utilization(unpipe) - saturation_utilization(pipe))
+    result.notes.append(
+        f"same clock: unpipelined latency lower by {gap:.1f} cycles at low load "
+        "(paper: ~30 cycles at 16x16), peak utilization higher by "
+        f"{peak_gap:.1f} percentage points (paper: ~5)"
+    )
+    # The text's comparison: unpipelined clock 30% slower -> same message
+    # delays; pipelined router then delivers >20% more bytes/second.
+    scaled_latency = unpipe[low].avg_latency * UNPIPELINED_SLOW_CLOCK.clock_scale
+    thr_pipe = max(r.throughput_flits_per_cycle for r in pipe)
+    thr_unpipe_scaled = max(
+        r.throughput_flits_per_cycle for r in unpipe
+    ) / UNPIPELINED_SLOW_CLOCK.clock_scale
+    advantage = 100 * (thr_pipe / thr_unpipe_scaled - 1) if thr_unpipe_scaled else 0.0
+    result.notes.append(
+        f"with a 1.3x unpipelined clock: unpipelined latency {scaled_latency:.1f} vs "
+        f"pipelined {pipe[low].avg_latency:.1f} pipelined-clock cycles; pipelined "
+        f"throughput advantage {advantage:.0f}% in bytes/second (paper: >20%)"
+    )
+    return result
+
+
+def throughput_summary(scale_name: str = "") -> str:
+    """The Section 6 raw-throughput comparison (torus vs mesh)."""
+    scale = get_scale(scale_name)
+    rows = []
+    for topology in ("torus", "mesh"):
+        base = SimulationConfig(
+            topology=topology,
+            radix=scale.radix,
+            dims=2,
+            warmup_cycles=scale.warmup_cycles,
+            measure_cycles=scale.measure_cycles,
+        )
+        results = sweep_rates(base, scale.rate_grids[0][-2:])
+        best = max(results, key=lambda r: r.throughput_flits_per_cycle)
+        rows.append(
+            [
+                topology,
+                best.throughput_flits_per_cycle,
+                best.messages_per_cycle,
+                PAPER_RAW_THROUGHPUT[topology],
+            ]
+        )
+    return format_table(
+        ["network", "flits/cycle", "msgs/cycle", "paper flits/cycle (16x16)"], rows
+    )

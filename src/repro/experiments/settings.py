@@ -1,0 +1,69 @@
+"""Experiment scale presets.
+
+The paper's simulations use 16x16 networks.  Full-fidelity sweeps of a
+16x16 flit-level model are minutes-per-point in pure Python, so every
+harness supports two scales:
+
+* ``paper`` — 16x16, long warmup/measurement: the configuration used to
+  produce EXPERIMENTS.md.
+* ``quick`` — 8x8, short windows: finishes in seconds per point; used by
+  the pytest benchmarks and for smoke runs.  Shapes (curve ordering,
+  relative drops) are preserved; absolute numbers differ.
+
+Select with ``--scale`` on the CLI or the ``REPRO_SCALE`` environment
+variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    name: str
+    radix: int
+    warmup_cycles: int
+    measure_cycles: int
+    #: message-generation-rate grids per fault scenario, bracketing each
+    #: scenario's saturation point
+    rate_grids: Dict[int, List[float]]
+
+
+QUICK = ExperimentScale(
+    name="quick",
+    radix=8,
+    warmup_cycles=500,
+    measure_cycles=2_000,
+    rate_grids={
+        0: [0.005, 0.012, 0.020, 0.030, 0.040],
+        1: [0.004, 0.010, 0.016, 0.024, 0.032],
+        5: [0.003, 0.008, 0.014, 0.020, 0.028],
+    },
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    radix=16,
+    warmup_cycles=2_000,
+    measure_cycles=6_000,
+    rate_grids={
+        0: [0.002, 0.005, 0.009, 0.013, 0.017, 0.021, 0.026],
+        1: [0.002, 0.004, 0.007, 0.010, 0.013, 0.016],
+        5: [0.001, 0.003, 0.005, 0.008, 0.011, 0.014],
+    },
+)
+
+_SCALES = {"quick": QUICK, "paper": PAPER}
+
+
+def get_scale(name: str = "") -> ExperimentScale:
+    """Resolve a scale by name, falling back to ``REPRO_SCALE`` and then
+    to ``quick``."""
+    chosen = name or os.environ.get("REPRO_SCALE", "quick")
+    try:
+        return _SCALES[chosen]
+    except KeyError:
+        raise ValueError(f"unknown scale {chosen!r}; expected one of {sorted(_SCALES)}") from None

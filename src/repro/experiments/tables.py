@@ -1,0 +1,88 @@
+"""Renders the paper's specification tables from the *implemented*
+allocation, proving the code matches the paper by construction.
+
+Tables 1 and 2 are not measurement tables — they define which virtual
+channel classes each message type uses.  The harness prints the same
+tables straight out of :mod:`repro.core.vc_allocation`, plus the
+mechanized disjointness/acyclicity evidence for Lemma 1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.cdg import assert_deadlock_free
+from ..analysis.report import format_table
+from ..core import class_pair, misroute_dim_of
+from ..sim import SimulationConfig, SimNetwork
+
+
+def _pair_text(pair) -> str:
+    if pair[0] == pair[1]:
+        return f"c{pair[0]}"
+    return f"c{pair[0]} before / c{pair[1]} after wraparound"
+
+
+def table1() -> str:
+    """Table 1: planes and virtual channels in a 3D torus."""
+    rows: List[List[str]] = []
+    dims = 3
+    for msg_dim in range(dims):
+        j = misroute_dim_of(dims, msg_dim)
+        plane = f"DIM{msg_dim}-DIM{j}"
+        own = class_pair(dims, msg_dim, msg_dim, torus=True)
+        cross = class_pair(dims, msg_dim, j, torus=True)
+        if own == cross:
+            usage = _pair_text(own) + f" (wraparound in DIM{msg_dim})"
+        else:
+            usage = (
+                f"{_pair_text(own)} in DIM{msg_dim}; "
+                f"{_pair_text(cross)} in DIM{j} (both keyed to DIM{msg_dim} wraparound)"
+            )
+        rows.append([f"DIM{msg_dim}+, DIM{msg_dim}-", plane, usage])
+    return "Table 1 (3D torus), regenerated from the implementation:\n" + format_table(
+        ["Message type", "Plane type", "Virtual channel classes"], rows
+    )
+
+
+def table2(max_dims: int = 6) -> str:
+    """Table 2: planes and virtual channels for nD tori."""
+    rows: List[List[str]] = []
+    for dims in range(2, max_dims + 1):
+        for msg_dim in range(dims):
+            j = misroute_dim_of(dims, msg_dim)
+            own = class_pair(dims, msg_dim, msg_dim, torus=True)
+            cross = class_pair(dims, msg_dim, j, torus=True)
+            if own == cross:
+                classes = f"c{own[0]} and c{own[1]}"
+            else:
+                classes = (
+                    f"c{own[0]}/c{own[1]} in DIM{msg_dim}, "
+                    f"c{cross[0]}/c{cross[1]} in DIM{j}"
+                )
+            rows.append([f"n={dims}", f"M{msg_dim}", f"A({msg_dim},{j})", classes])
+    return "Table 2 (nD tori), regenerated from the implementation:\n" + format_table(
+        ["n", "Message type", "Plane type", "Virtual channel classes"], rows
+    )
+
+
+def lemma1_evidence(radix: int = 8) -> str:
+    """Mechanized deadlock-freedom evidence: channel dependency graphs of
+    representative faulty networks are acyclic (Dally-Seitz condition)."""
+    lines = ["Lemma 1 evidence: channel dependency graphs are acyclic"]
+    cases = [
+        ("torus", 2, 0), ("torus", 2, 1), ("torus", 2, 5),
+        ("mesh", 2, 0), ("mesh", 2, 5),
+    ]
+    for topology, dims, percent in cases:
+        config = SimulationConfig(
+            topology=topology, radix=radix, dims=dims, fault_percent=percent
+        )
+        net = SimNetwork(config)
+        designated = assert_deadlock_free(net, include_sharing=False)
+        shared = assert_deadlock_free(net, include_sharing=True)
+        lines.append(
+            f"  {topology} {radix}x{radix}, {percent}% faults: acyclic "
+            f"({designated} designated vertices, {shared} with idle-VC sharing)"
+        )
+    return "\n".join(lines)

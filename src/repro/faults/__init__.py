@@ -1,0 +1,70 @@
+"""Block-fault model, fault rings, and fault-pattern generation."""
+
+from .fault_model import FaultSet, LocalFaultView
+from .regions import (
+    DoubledInterval,
+    FaultRegion,
+    NetworkDisconnectedError,
+    NonConvexFaultError,
+    apply_block_fault_rule,
+    extract_fault_regions,
+    healthy_network_connected,
+    link_fault_region,
+    node_fault_region,
+)
+from .fault_rings import (
+    FaultRing,
+    FaultRingIndex,
+    RingGeometryError,
+    rings_for_region,
+    routing_planes,
+)
+from .overlaps import (
+    OverlapColoringError,
+    assign_region_layers,
+    has_overlaps,
+    ring_overlap_graph,
+    shared_links_report,
+)
+from .generation import (
+    PAPER_FAULT_COUNTS,
+    FaultGenerationError,
+    FaultScenario,
+    generate_fault_pattern,
+    generate_overlapping_pattern,
+    paper_fault_scenario,
+    scaled_fault_counts,
+    validate_fault_pattern,
+)
+
+__all__ = [
+    "PAPER_FAULT_COUNTS",
+    "DoubledInterval",
+    "FaultGenerationError",
+    "FaultRegion",
+    "FaultRing",
+    "FaultRingIndex",
+    "FaultScenario",
+    "FaultSet",
+    "LocalFaultView",
+    "NetworkDisconnectedError",
+    "NonConvexFaultError",
+    "OverlapColoringError",
+    "RingGeometryError",
+    "apply_block_fault_rule",
+    "assign_region_layers",
+    "has_overlaps",
+    "ring_overlap_graph",
+    "shared_links_report",
+    "extract_fault_regions",
+    "generate_fault_pattern",
+    "generate_overlapping_pattern",
+    "healthy_network_connected",
+    "link_fault_region",
+    "node_fault_region",
+    "paper_fault_scenario",
+    "scaled_fault_counts",
+    "rings_for_region",
+    "routing_planes",
+    "validate_fault_pattern",
+]

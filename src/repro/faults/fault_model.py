@@ -1,0 +1,134 @@
+"""Fault sets and the local fault knowledge available to routers.
+
+The paper's fault model (Section 3): permanent, non-malicious failures of
+nodes and links that do not disconnect the network.  A faulty node stops
+driving all of its outgoing channels, so every link incident on a faulty
+node is unusable.  Fault detection/isolation is local: each healthy node
+knows only the status of the links incident on it and on its neighbors.
+
+:class:`FaultSet` is the global ground truth used to *build* a faulty
+network; :class:`LocalFaultView` is the restricted interface handed to the
+routing logic, mirroring the paper's locality requirement (a router may ask
+only about hops adjacent to the current node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+from ..topology import BiLink, Coord, Direction, GridNetwork
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """An immutable set of faulty nodes and faulty links.
+
+    ``link_faults`` holds *explicitly* failed links; links incident on a
+    faulty node are implicitly faulty and are included by
+    :meth:`all_faulty_links`.
+    """
+
+    node_faults: FrozenSet[Coord] = frozenset()
+    link_faults: FrozenSet[BiLink] = frozenset()
+
+    @staticmethod
+    def of(
+        network: GridNetwork,
+        nodes: Iterable[Coord] = (),
+        links: Iterable[Tuple[Coord, int, Direction]] = (),
+    ) -> "FaultSet":
+        """Convenience constructor.
+
+        ``links`` are given as ``(coord, dim, direction)`` hops; both
+        unidirectional channels of each named link fail (full-duplex link
+        fault).
+        """
+        node_set = frozenset(tuple(c) for c in nodes)
+        link_set = set()
+        for coord, dim, direction in links:
+            other = network.neighbor(tuple(coord), dim, direction)
+            if other is None:
+                raise ValueError(f"no link at {coord} dim {dim} dir {direction}")
+            link_set.add(BiLink.between(tuple(coord), other, dim, network.radix))
+        return FaultSet(node_set, frozenset(link_set))
+
+    @property
+    def empty(self) -> bool:
+        return not self.node_faults and not self.link_faults
+
+    def is_node_faulty(self, coord: Coord) -> bool:
+        return coord in self.node_faults
+
+    def all_faulty_links(self, network: GridNetwork) -> FrozenSet[BiLink]:
+        """Explicit link faults plus every link incident on a faulty node."""
+        links: Set[BiLink] = set(self.link_faults)
+        for coord in self.node_faults:
+            for dim, _direction, other in network.neighbors(coord):
+                links.add(BiLink.between(coord, other, dim, network.radix))
+        return frozenset(links)
+
+    def is_hop_faulty(self, network: GridNetwork, coord: Coord, dim: int, direction: Direction) -> bool:
+        """True if the hop from ``coord`` in ``dim``/``direction`` cannot be
+        used: the link is faulty, the far node is faulty, or (mesh) the hop
+        falls off the boundary."""
+        other = network.neighbor(coord, dim, direction)
+        if other is None:
+            return True
+        if other in self.node_faults or coord in self.node_faults:
+            return True
+        return BiLink.between(coord, other, dim, network.radix) in self.link_faults
+
+    def faulty_link_fraction(self, network: GridNetwork) -> float:
+        """Fraction of the network's links that are faulty (the paper's
+        "d% faults" label counts links, with node faults contributing their
+        incident links)."""
+        return len(self.all_faulty_links(network)) / network.num_links()
+
+    def merged_with(self, other: "FaultSet") -> "FaultSet":
+        return FaultSet(
+            self.node_faults | other.node_faults,
+            self.link_faults | other.link_faults,
+        )
+
+    def with_nodes(self, nodes: Iterable[Coord]) -> "FaultSet":
+        return FaultSet(self.node_faults | frozenset(nodes), self.link_faults)
+
+
+@dataclass
+class LocalFaultView:
+    """The fault knowledge a router is allowed to use.
+
+    The paper requires only that "each non-faulty node knows the status of
+    the links incident on it and its neighbors".  The routing logic in
+    :mod:`repro.core` receives this view and the precomputed f-ring
+    geometry (which, in a real machine, is established by the two-step
+    distributed f-ring formation protocol of Section 3; we compute it
+    centrally but expose only per-ring information).
+    """
+
+    network: GridNetwork
+    faults: FaultSet
+    _faulty_links: FrozenSet[BiLink] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._faulty_links = self.faults.all_faulty_links(self.network)
+
+    def hop_blocked(self, coord: Coord, dim: int, direction: Direction) -> bool:
+        """Whether the next hop from ``coord`` along ``dim``/``direction``
+        is unusable (faulty link/neighbor, or mesh boundary)."""
+        other = self.network.neighbor(coord, dim, direction)
+        if other is None:
+            return True
+        if other in self.faults.node_faults:
+            return True
+        return BiLink.between(coord, other, dim, self.network.radix) in self._faulty_links
+
+    def node_usable(self, coord: Coord) -> bool:
+        return coord not in self.faults.node_faults
+
+    def blocking_fault_target(self, coord: Coord, dim: int, direction: Direction) -> Optional[Coord]:
+        """The coordinate the blocked hop leads to (used to locate which
+        fault region is responsible), or ``None`` for a mesh-boundary
+        block."""
+        return self.network.neighbor(coord, dim, direction)

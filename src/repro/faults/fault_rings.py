@@ -1,0 +1,301 @@
+"""Fault rings (f-rings).
+
+Section 3: each block fault is enclosed by rings of healthy nodes and
+links, one ring per 2D cross-section of the fault.  A message blocked by
+the fault is misrouted along the ring lying in the message's current 2D
+routing plane.
+
+A ring is the perimeter of an axis-aligned rectangle of nodes in a 2D
+plane of the network.  We derive it from the fault region's doubled
+intervals: expanding the region's interval by one node (two doubled
+positions) on each side in both plane dimensions gives the ring rectangle.
+This produces the correct ring both for node blocks (a ``(w+2) x (h+2)``
+perimeter) and for single-link faults (the six-node ring around the link).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..topology import BiLink, Coord, Direction, GridNetwork, ring_span
+from .fault_model import FaultSet
+from .regions import FaultRegion, NetworkDisconnectedError
+
+
+class RingGeometryError(ValueError):
+    """Raised when a fault ring cannot be formed (mesh boundary fault, or a
+    ring that would wrap onto itself in a small torus)."""
+
+
+@dataclass(frozen=True)
+class FaultRing:
+    """The f-ring of one 2D cross-section of a fault region.
+
+    ``plane`` is the unordered pair of dimensions the ring lies in;
+    ``fixed`` gives the coordinate of the ring in every other dimension
+    (``None`` in the plane dimensions).  ``lo``/``hi`` give the node
+    bounds of the ring rectangle per plane dimension; on a torus
+    ``hi < lo`` encodes a rectangle wrapping the dateline.
+    """
+
+    region_index: int
+    plane: FrozenSet[int]
+    fixed: Tuple[Optional[int], ...]
+    lo: Dict[int, int]
+    hi: Dict[int, int]
+    radix: int
+    wraparound: bool
+
+    # ------------------------------------------------------------------
+    # geometry queries
+    # ------------------------------------------------------------------
+    def span_length(self, dim: int) -> int:
+        """Number of node positions the ring rectangle spans in ``dim``."""
+        if self.wraparound:
+            return (self.hi[dim] - self.lo[dim]) % self.radix + 1
+        return self.hi[dim] - self.lo[dim] + 1
+
+    def pos_in_span(self, dim: int, position: int) -> bool:
+        """Whether ``position`` lies within the ring rectangle in ``dim``."""
+        if self.wraparound:
+            return (position - self.lo[dim]) % self.radix < self.span_length(dim)
+        return self.lo[dim] <= position <= self.hi[dim]
+
+    def pos_on_boundary(self, dim: int, position: int) -> bool:
+        return position == self.lo[dim] or position == self.hi[dim]
+
+    def span_positions(self, dim: int) -> List[int]:
+        if self.wraparound:
+            return list(ring_span(self.lo[dim], self.hi[dim], self.radix))
+        return list(range(self.lo[dim], self.hi[dim] + 1))
+
+    def matches_fixed(self, coord: Coord) -> bool:
+        return all(
+            want is None or coord[dim] == want for dim, want in enumerate(self.fixed)
+        )
+
+    def on_ring(self, coord: Coord) -> bool:
+        """True if ``coord`` is one of the ring's perimeter nodes."""
+        if not self.matches_fixed(coord):
+            return False
+        dims = sorted(self.plane)
+        if not all(self.pos_in_span(d, coord[d]) for d in dims):
+            return False
+        return any(self.pos_on_boundary(d, coord[d]) for d in dims)
+
+    def is_corner(self, coord: Coord) -> bool:
+        if not self.matches_fixed(coord):
+            return False
+        return all(self.pos_on_boundary(d, coord[d]) for d in sorted(self.plane))
+
+    def boundary_position(self, dim: int, direction: Direction) -> int:
+        """Ring boundary a message blocked while traveling ``direction``
+        along ``dim`` stands on: the low side for POS travel (the fault is
+        ahead of it), the high side for NEG travel."""
+        return self.lo[dim] if direction is Direction.POS else self.hi[dim]
+
+    def far_boundary_position(self, dim: int, direction: Direction) -> int:
+        """Ring boundary on the other side of the fault from
+        :meth:`boundary_position`."""
+        return self.hi[dim] if direction is Direction.POS else self.lo[dim]
+
+    # ------------------------------------------------------------------
+    # perimeter enumeration (tests, visualization, overlap checks)
+    # ------------------------------------------------------------------
+    def perimeter_nodes(self) -> List[Coord]:
+        """Ring nodes in cycle order, starting at the (lo, lo) corner and
+        moving in the positive direction of the lower plane dimension."""
+        dim_a, dim_b = sorted(self.plane)
+        pos_a = self.span_positions(dim_a)
+        pos_b = self.span_positions(dim_b)
+
+        def make(a_val: int, b_val: int) -> Coord:
+            coord = list(self.fixed)
+            coord[dim_a] = a_val
+            coord[dim_b] = b_val
+            return tuple(coord)  # type: ignore[arg-type]
+
+        cycle: List[Coord] = []
+        cycle.extend(make(a, pos_b[0]) for a in pos_a)  # low-b edge, a increasing
+        cycle.extend(make(pos_a[-1], b) for b in pos_b[1:])  # high-a edge
+        cycle.extend(make(a, pos_b[-1]) for a in reversed(pos_a[:-1]))  # high-b edge
+        cycle.extend(make(pos_a[0], b) for b in reversed(pos_b[1:-1]))  # low-a edge
+        return cycle
+
+    def perimeter_links(self) -> Set[BiLink]:
+        nodes = self.perimeter_nodes()
+        links: Set[BiLink] = set()
+        for index, node in enumerate(nodes):
+            nxt = nodes[(index + 1) % len(nodes)]
+            dim = next(d for d in range(len(node)) if node[d] != nxt[d])
+            links.add(BiLink.between(node, nxt, dim, self.radix))
+        return links
+
+
+# ----------------------------------------------------------------------
+# ring construction
+# ----------------------------------------------------------------------
+def routing_planes(dims: int) -> List[FrozenSet[int]]:
+    """The plane types used by the routing algorithm: ``A_{i, i+1 mod n}``
+    for each dimension ``i`` (Section 5.2).  For 2D this is the single
+    plane {0, 1}; for 3D all three pairs; for higher n, n adjacent pairs."""
+    planes = []
+    for dim in range(dims):
+        pair = frozenset({dim, (dim + 1) % dims})
+        if pair not in planes and len(pair) == 2:
+            planes.append(pair)
+    return planes
+
+
+def _ring_bounds(region: FaultRegion, dim: int, radix: int, wraparound: bool) -> Tuple[int, int]:
+    """Node bounds of the ring rectangle in a plane dimension."""
+    expanded = region.intervals[dim].expanded(2)
+    nodes = expanded.node_positions()
+    if not nodes:
+        raise RingGeometryError("expanded region interval contains no nodes")
+    if wraparound:
+        if len(nodes) >= radix:
+            raise NetworkDisconnectedError("fault ring wraps onto itself")
+        return nodes[0], nodes[-1]
+    lo, hi = nodes[0], nodes[-1]
+    if lo < 0 or hi >= radix:
+        raise RingGeometryError(
+            "fault touches the mesh boundary; boundary faults require the "
+            "special handling of Boppana & Chalasani [3, 4], which this "
+            "library does not implement (the fault generator avoids them)"
+        )
+    return lo, hi
+
+
+def rings_for_region(
+    network: GridNetwork, region: FaultRegion, region_index: int
+) -> List[FaultRing]:
+    """All f-rings of one region, one per 2D cross-section per routing
+    plane type that intersects the region."""
+    rings: List[FaultRing] = []
+    if network.dims == 1:
+        raise RingGeometryError("fault rings require at least 2 dimensions")
+    for plane in routing_planes(network.dims):
+        dim_a, dim_b = sorted(plane)
+        # Cross-sections: every combination of node positions of the region
+        # in the non-plane dimensions.
+        fixed_axes: List[List[Optional[int]]] = []
+        degenerate = False
+        for dim in range(network.dims):
+            if dim in plane:
+                fixed_axes.append([None])
+            else:
+                positions = region.node_extent(dim)
+                if not positions:
+                    # Link region whose link dimension is not in this
+                    # plane: no cross-section here.
+                    degenerate = True
+                    break
+                fixed_axes.append(list(positions))
+        if degenerate:
+            continue
+        lo_a, hi_a = _ring_bounds(region, dim_a, network.radix, network.wraparound)
+        lo_b, hi_b = _ring_bounds(region, dim_b, network.radix, network.wraparound)
+        fixed_choices: List[Tuple[Optional[int], ...]] = [()]
+        for axis in fixed_axes:
+            fixed_choices = [prefix + (value,) for prefix in fixed_choices for value in axis]
+        for fixed in fixed_choices:
+            rings.append(
+                FaultRing(
+                    region_index=region_index,
+                    plane=plane,
+                    fixed=fixed,
+                    lo={dim_a: lo_a, dim_b: lo_b},
+                    hi={dim_a: hi_a, dim_b: hi_b},
+                    radix=network.radix,
+                    wraparound=network.wraparound,
+                )
+            )
+    return rings
+
+
+class FaultRingIndex:
+    """All fault regions and f-rings of a faulty network, with the lookup
+    operations the routing logic needs.
+
+    In a real machine this structure is materialized distributively (each
+    ring node learns only its own ring neighbors via the two-step protocol
+    of Section 3); here it is computed centrally, but routing decisions
+    only ever query the ring local to the blocking fault.
+    """
+
+    def __init__(self, network: GridNetwork, regions: Sequence[FaultRegion]):
+        self.network = network
+        self.regions = list(regions)
+        self.rings: List[FaultRing] = []
+        self._by_key: Dict[Tuple[int, FrozenSet[int], Tuple[Optional[int], ...]], FaultRing] = {}
+        for index, region in enumerate(self.regions):
+            for ring in rings_for_region(network, region, index):
+                self.rings.append(ring)
+                self._by_key[(index, ring.plane, ring.fixed)] = ring
+
+    # ------------------------------------------------------------------
+    def locate_region(self, coord: Coord, dim: int, direction: Direction) -> Optional[int]:
+        """Index of the region responsible for blocking the hop from
+        ``coord`` along ``dim``/``direction``, or ``None`` (e.g. the hop is
+        blocked by the mesh boundary rather than a fault)."""
+        target = self.network.neighbor(coord, dim, direction)
+        if target is None:
+            return None
+        # doubled coordinates of the link midpoint
+        doubled = [2 * coord[d] for d in range(self.network.dims)]
+        if direction is Direction.POS:
+            doubled[dim] = (2 * coord[dim] + 1) % (2 * self.network.radix) if self.network.wraparound else 2 * coord[dim] + 1
+        else:
+            doubled[dim] = (2 * coord[dim] - 1) % (2 * self.network.radix) if self.network.wraparound else 2 * coord[dim] - 1
+        for index, region in enumerate(self.regions):
+            if region.contains_node(target) or region.contains_doubled(doubled):
+                return index
+        return None
+
+    def ring_for(self, region_index: int, plane: Iterable[int], coord: Coord) -> FaultRing:
+        """The f-ring of ``region_index`` in ``plane`` whose cross-section
+        passes through ``coord`` (i.e. matches ``coord`` in the fixed
+        dimensions)."""
+        plane_set = frozenset(plane)
+        fixed = tuple(
+            None if dim in plane_set else coord[dim] for dim in range(self.network.dims)
+        )
+        try:
+            return self._by_key[(region_index, plane_set, fixed)]
+        except KeyError:
+            raise RingGeometryError(
+                f"no f-ring of region {region_index} in plane {sorted(plane_set)} "
+                f"through {coord}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def overlapping_ring_pairs(self) -> List[Tuple[FaultRing, FaultRing]]:
+        """Pairs of distinct rings sharing at least one link (the paper's
+        definition of overlap; overlapping rings need the extended scheme
+        of reference [8] and are rejected by the generator)."""
+        pairs = []
+        link_sets = [ring.perimeter_links() for ring in self.rings]
+        for i in range(len(self.rings)):
+            for j in range(i + 1, len(self.rings)):
+                if self.rings[i].region_index == self.rings[j].region_index:
+                    # Rings of one region never share links: same-plane
+                    # rings differ in a fixed coordinate, and cross-plane
+                    # rings place their shared-dimension links at different
+                    # offsets (boundary vs interior of the region extent).
+                    continue
+                if link_sets[i] & link_sets[j]:
+                    pairs.append((self.rings[i], self.rings[j]))
+        return pairs
+
+    def rings_healthy(self, faults: FaultSet) -> bool:
+        """Every ring node and link must be healthy for the routing
+        algorithm's guarantees to hold."""
+        faulty_links = faults.all_faulty_links(self.network)
+        for ring in self.rings:
+            if any(node in faults.node_faults for node in ring.perimeter_nodes()):
+                return False
+            if any(link in faulty_links for link in ring.perimeter_links()):
+                return False
+        return True

@@ -1,0 +1,203 @@
+"""Random fault-pattern generation.
+
+Section 6 of the paper: "we have randomly generated the required number of
+faulty nodes and links such that isolated faults with nonoverlapping
+f-rings are formed", using 1 node + 1 link for the ~1%-faults experiments
+and 4 nodes + 10 links for the ~5%-faults experiments (percentages count
+faulty links, with node faults contributing their incident links).
+
+We reproduce that generator by rejection sampling with a seeded RNG:
+
+* faulty nodes are sampled without replacement, faulty links among the
+  remaining healthy links;
+* the pattern is accepted only if it is already blocked (no expansion by
+  the blocking rule — faults are isolated), every region's f-rings can be
+  formed (no mesh-boundary faults, no self-wrapping torus rings), all
+  f-ring nodes/links are healthy, rings are pairwise non-overlapping, and
+  the healthy network remains connected.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..topology import GridNetwork
+from .fault_model import FaultSet
+from .fault_rings import FaultRingIndex, RingGeometryError
+from .overlaps import OverlapColoringError, assign_region_layers, has_overlaps
+from .regions import (
+    NetworkDisconnectedError,
+    NonConvexFaultError,
+    extract_fault_regions,
+    healthy_network_connected,
+)
+
+
+class FaultGenerationError(RuntimeError):
+    """Raised when no acceptable pattern is found within the try budget."""
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A validated fault pattern together with its region/ring geometry.
+
+    ``region_layers`` maps each region index to its misroute layer (0 or
+    1); layer 1 appears only for patterns with overlapping f-rings, which
+    then need a second bank of virtual channel classes (the extension of
+    the authors' report [8])."""
+
+    faults: FaultSet
+    ring_index: FaultRingIndex
+    region_layers: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.ring_index.regions)
+
+    @property
+    def has_overlapping_rings(self) -> bool:
+        return has_overlaps(self.region_layers)
+
+    def link_fault_percent(self, network: GridNetwork) -> float:
+        return 100.0 * self.faults.faulty_link_fraction(network)
+
+
+def validate_fault_pattern(
+    network: GridNetwork,
+    faults: FaultSet,
+    *,
+    allow_blocking: bool = False,
+    allow_overlapping_rings: bool = False,
+) -> FaultScenario:
+    """Check a fault pattern against the model assumptions and build its
+    ring geometry.  Raises on violation.
+
+    With ``allow_blocking`` the pattern is first expanded by the blocking
+    rule (useful for user-supplied patterns); the paper's generator only
+    accepts already-blocked patterns.  With ``allow_overlapping_rings``
+    patterns whose f-rings share links are accepted and each region is
+    assigned a misroute layer (report [8]'s extra-virtual-channel
+    scheme); without it, such patterns raise, as in the paper.
+    """
+    blocked, regions = extract_fault_regions(network, faults, block=True)
+    if not allow_blocking and blocked.node_faults != faults.node_faults:
+        raise NonConvexFaultError("pattern is not blocked (blocking rule would expand it)")
+    ring_index = FaultRingIndex(network, regions)
+    if not ring_index.rings_healthy(blocked):
+        raise RingGeometryError("an f-ring passes through a faulty node or link")
+    if not allow_overlapping_rings and ring_index.overlapping_ring_pairs():
+        raise RingGeometryError("f-rings overlap (share a link)")
+    if not healthy_network_connected(network, blocked):
+        raise NetworkDisconnectedError("faults disconnect the healthy nodes")
+    layers = assign_region_layers(ring_index)
+    return FaultScenario(blocked, ring_index, layers)
+
+
+def generate_fault_pattern(
+    network: GridNetwork,
+    num_node_faults: int,
+    num_link_faults: int,
+    rng: random.Random,
+    *,
+    max_tries: int = 10_000,
+) -> FaultScenario:
+    """Sample a fault pattern with the given number of isolated node and
+    link faults, rejecting patterns that violate the model (Section 6's
+    procedure)."""
+    all_nodes = list(network.nodes())
+    all_links = list(network.links())
+    for _attempt in range(max_tries):
+        nodes = rng.sample(all_nodes, num_node_faults) if num_node_faults else []
+        node_set = set(nodes)
+        candidate_links = [
+            link for link in all_links if link.u not in node_set and link.v not in node_set
+        ]
+        links = rng.sample(candidate_links, num_link_faults) if num_link_faults else []
+        faults = FaultSet(frozenset(nodes), frozenset(links))
+        try:
+            return validate_fault_pattern(network, faults)
+        except (NonConvexFaultError, RingGeometryError, NetworkDisconnectedError):
+            continue
+    raise FaultGenerationError(
+        f"no valid pattern with {num_node_faults} node and {num_link_faults} "
+        f"link faults found in {max_tries} tries on {network!r}"
+    )
+
+
+def generate_overlapping_pattern(
+    network: GridNetwork,
+    num_regions: int,
+    rng: random.Random,
+    *,
+    max_tries: int = 20_000,
+) -> FaultScenario:
+    """Sample a pattern of single-node faults in which at least one pair
+    of f-rings overlaps (the interleaved-board scenario of Section 7),
+    validated under the layered scheme of report [8]."""
+    all_nodes = list(network.nodes())
+    for _attempt in range(max_tries):
+        nodes = rng.sample(all_nodes, num_regions)
+        faults = FaultSet(frozenset(nodes))
+        try:
+            scenario = validate_fault_pattern(
+                network, faults, allow_overlapping_rings=True
+            )
+        except (
+            NonConvexFaultError,
+            RingGeometryError,
+            NetworkDisconnectedError,
+            OverlapColoringError,
+        ):
+            continue
+        if scenario.has_overlapping_rings:
+            return scenario
+    raise FaultGenerationError(
+        f"no overlapping-ring pattern with {num_regions} regions found in "
+        f"{max_tries} tries on {network!r}"
+    )
+
+
+#: The paper's two fault scenarios for 16x16 networks (Section 6): the
+#: labels are the approximate percentage of faulty links.
+PAPER_FAULT_COUNTS = {
+    0: (0, 0),  # fault-free
+    1: (1, 1),  # "1% faults": 1 node + 1 link
+    5: (4, 10),  # "5% faults": 4 nodes + 10 links
+}
+
+
+def scaled_fault_counts(network: GridNetwork, percent: int) -> Tuple[int, int]:
+    """The paper's (node, link) fault counts, scaled to the network size.
+
+    The paper's counts target 16x16 networks (512/480 links).  For other
+    sizes we keep the same faulty-link fraction and roughly the same
+    node:link fault mix, remembering that each isolated node fault
+    contributes its ``2n`` incident links to the percentage."""
+    if percent == 0:
+        return (0, 0)
+    if network.radix == 16 and network.dims == 2:
+        return PAPER_FAULT_COUNTS[percent]
+    target_links = percent / 100.0 * network.num_links()
+    links_per_node_fault = 2 * network.dims
+    # Paper mix: ~60% of faulty links come from node faults (16 of 26).
+    num_nodes = max(0, round(0.6 * target_links / links_per_node_fault))
+    remaining = target_links - num_nodes * links_per_node_fault
+    num_links = max(1 if num_nodes == 0 else 0, round(remaining))
+    return (num_nodes, num_links)
+
+
+def paper_fault_scenario(
+    network: GridNetwork, percent: int, rng: random.Random
+) -> FaultScenario:
+    """Generate one of the paper's named fault scenarios (0, 1 or 5% of
+    links faulty), scaling the fault counts for non-16x16 networks."""
+    if percent not in PAPER_FAULT_COUNTS:
+        raise ValueError(
+            f"unknown paper scenario {percent}%; expected one of {sorted(PAPER_FAULT_COUNTS)}"
+        )
+    num_nodes, num_links = scaled_fault_counts(network, percent)
+    if num_nodes == 0 and num_links == 0:
+        return validate_fault_pattern(network, FaultSet())
+    return generate_fault_pattern(network, num_nodes, num_links, rng)

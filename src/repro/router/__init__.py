@@ -1,0 +1,32 @@
+"""Router models: channels, messages, PDR and crossbar node organizations,
+and timing."""
+
+from .channels import (
+    DEFAULT_BUFFER_DEPTH,
+    ChannelKind,
+    MessageSource,
+    PhysicalChannel,
+    VirtualChannel,
+)
+from .messages import Message
+from .modules import CrossbarNode, Module, NodeModel, PDRNode, Resolution, sharing_set
+from .timing import PIPELINED, UNPIPELINED, UNPIPELINED_SLOW_CLOCK, RouterTiming
+
+__all__ = [
+    "DEFAULT_BUFFER_DEPTH",
+    "PIPELINED",
+    "UNPIPELINED",
+    "UNPIPELINED_SLOW_CLOCK",
+    "ChannelKind",
+    "CrossbarNode",
+    "Message",
+    "MessageSource",
+    "Module",
+    "NodeModel",
+    "PDRNode",
+    "PhysicalChannel",
+    "Resolution",
+    "RouterTiming",
+    "VirtualChannel",
+    "sharing_set",
+]

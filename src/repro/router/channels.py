@@ -1,0 +1,198 @@
+"""Physical and virtual channels with flit-level wormhole semantics.
+
+Model (Section 6's simulator description):
+
+* every physical channel — internode, interchip (between dimension
+  modules of one PDR node), injection and consumption — simulates one
+  virtual channel per class, each with a flit buffer of depth four at the
+  receiving end;
+* the virtual channels of a physical channel are demand time-multiplexed:
+  the channel transfers at most one flit per cycle, round-robin among the
+  virtual channels that have a flit ready upstream and buffer space
+  downstream;
+* a flit arriving at a module's input buffer becomes *eligible* to leave
+  on the module's outgoing channel only after the router's internal delay
+  (3 cycles for headers / 2 for data flits in the pipelined router);
+* wormhole switching: a virtual channel is allocated to one message by
+  its header and held until the tail flit has been forwarded.
+
+Flits are not materialized as objects; each virtual channel tracks counts
+plus a deque of eligibility times, which is equivalent because flits of a
+message move in order and a VC buffers flits of at most one message.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import TYPE_CHECKING, Deque, List, Optional, Sequence
+
+from ..topology import Coord, Direction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .messages import Message
+
+
+#: Flit buffer depth per virtual channel ("Each virtual channel has a
+#: buffer of depth four to pipeline message transmission smoothly").
+DEFAULT_BUFFER_DEPTH = 4
+
+
+class ChannelKind(Enum):
+    INTERNODE = "internode"
+    INTERCHIP = "interchip"
+    INJECTION = "injection"
+    CONSUMPTION = "consumption"
+
+
+class VirtualChannel:
+    """One virtual channel: receiving-side flit buffer plus wormhole
+    reservation state."""
+
+    __slots__ = (
+        "channel",
+        "vc_class",
+        "message",
+        "upstream",
+        "received",
+        "sent",
+        "eligible",
+        "waiting_route",
+        "cached_resolution",
+    )
+
+    def __init__(self, channel: "PhysicalChannel", vc_class: int):
+        self.channel = channel
+        self.vc_class = vc_class
+        self.message: Optional["Message"] = None
+        #: the virtual channel (or message source) this VC pulls flits from
+        self.upstream: Optional[object] = None
+        self.received = 0
+        self.sent = 0
+        #: eligibility times of currently buffered flits, in arrival order
+        self.eligible: Deque[int] = deque()
+        #: True while this VC holds an unrouted header (module arbitration)
+        self.waiting_route = False
+        #: memoized Resolution for the waiting header (fault view is static,
+        #: so the decision cannot change while the header waits)
+        self.cached_resolution = None
+
+    # -- upstream interface (this VC acting as flit supplier) -----------
+    def has_eligible_flit(self, now: int) -> bool:
+        return bool(self.eligible) and self.eligible[0] <= now
+
+    def pop_flit(self) -> None:
+        self.eligible.popleft()
+        self.sent += 1
+
+    # -- downstream interface (this VC acting as receiver) --------------
+    def has_space(self) -> bool:
+        return (self.received - self.sent) < self.channel.buffer_depth
+
+    @property
+    def buffered(self) -> int:
+        return self.received - self.sent
+
+    @property
+    def free(self) -> bool:
+        return self.message is None
+
+    def reset(self) -> None:
+        self.message = None
+        self.upstream = None
+        self.received = 0
+        self.sent = 0
+        self.eligible.clear()
+        self.waiting_route = False
+        self.cached_resolution = None
+
+
+class MessageSource:
+    """Flit supplier for the injection channel: the processor streams the
+    message's flits with no internal delay (upstream end of the worm)."""
+
+    __slots__ = ("length", "sent")
+
+    def __init__(self, length: int):
+        self.length = length
+        self.sent = 0
+
+    def has_eligible_flit(self, now: int) -> bool:
+        return self.sent < self.length
+
+    def pop_flit(self) -> None:
+        self.sent += 1
+
+
+class PhysicalChannel:
+    """A unidirectional physical channel simulating ``num_classes`` virtual
+    channels with demand time-multiplexing (one flit per cycle total)."""
+
+    __slots__ = (
+        "kind",
+        "src_node",
+        "dst_node",
+        "dim",
+        "direction",
+        "dst_module",
+        "vcs",
+        "busy",
+        "rr",
+        "on_ring",
+        "buffer_depth",
+        "name",
+        "transfers",
+    )
+
+    def __init__(
+        self,
+        kind: ChannelKind,
+        num_classes: int,
+        *,
+        src_node: Optional[Coord] = None,
+        dst_node: Optional[Coord] = None,
+        dim: int = -1,
+        direction: Direction = Direction.POS,
+        dst_module: Optional[object] = None,
+        buffer_depth: int = DEFAULT_BUFFER_DEPTH,
+        name: str = "",
+    ):
+        self.kind = kind
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.dim = dim
+        self.direction = direction
+        #: the router module whose input this channel feeds (None for
+        #: consumption channels, which feed the processor sink)
+        self.dst_module = dst_module
+        self.vcs: List[VirtualChannel] = [VirtualChannel(self, c) for c in range(num_classes)]
+        #: virtual channels currently allocated to a message (receivers)
+        self.busy: List[VirtualChannel] = []
+        self.rr = 0
+        #: True if the channel lies on an f-ring (virtual channels are then
+        #: reserved for their designated message types)
+        self.on_ring = False
+        self.buffer_depth = buffer_depth
+        self.name = name
+        #: flits moved over this channel since construction/reset
+        #: (instrumentation for utilization analysis)
+        self.transfers = 0
+
+    def free_vc(self, admissible: Sequence[int]) -> Optional[VirtualChannel]:
+        """First free virtual channel among the admissible classes, in the
+        given preference order."""
+        for vc_class in admissible:
+            vc = self.vcs[vc_class]
+            if vc.message is None:
+                return vc
+        return None
+
+    def release(self, vc: VirtualChannel) -> None:
+        vc.reset()
+        try:
+            self.busy.remove(vc)
+        except ValueError:  # pragma: no cover - release is idempotent
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PhysicalChannel({self.name or self.kind.value})"

@@ -1,0 +1,53 @@
+"""Router timing models (Section 6, "Impact on fault-free performance").
+
+The paper simulates two router organizations:
+
+* **Pipelined** routers keep the clock rate when virtual channels are
+  added by pipelining the message path inside the router: a header flit
+  sees a 3-cycle delay through each module (input buffering, route
+  selection + switching, output virtual channel controller) and data
+  flits a 2-cycle delay (buffering, output controller).
+* **Unpipelined** routers pass any flit through a module in a single
+  cycle, but the analysis of Chien [10] says their clock must slow by
+  roughly 30% once virtual channels are added.
+
+Delays here are *per module traversal*; the physical channel transfer
+itself always takes one cycle.  Figure 10 compares the two at the same
+clock; :func:`repro.experiments.fig10` also reports the 30%-slower-clock
+comparison discussed in the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RouterTiming:
+    """Per-module flit delays in cycles."""
+
+    name: str
+    header_delay: int
+    data_delay: int
+    #: Relative clock period (1.0 = the pipelined router's clock).  Used
+    #: only for post-processing comparisons, never inside the simulator.
+    clock_scale: float = 1.0
+
+    def delay_for(self, is_header: bool) -> int:
+        return self.header_delay if is_header else self.data_delay
+
+
+#: The paper's pipelined router: 3-cycle headers, 2-cycle data flits.
+PIPELINED = RouterTiming("pipelined", header_delay=3, data_delay=2)
+
+#: The paper's unpipelined router at the same clock: 1-cycle flits.
+UNPIPELINED = RouterTiming("unpipelined", header_delay=1, data_delay=1)
+
+#: Unpipelined router with the ~30% longer clock period Chien's model
+#: predicts once virtual channels are added (used in Figure 10's text
+#: comparison: "if clock cycle time of the unpipelined router is about 30%
+#: more than the pipelined router, then both give rise to the same message
+#: delays").
+UNPIPELINED_SLOW_CLOCK = RouterTiming(
+    "unpipelined-1.3x-clock", header_delay=1, data_delay=1, clock_scale=1.3
+)

@@ -1,0 +1,38 @@
+"""Flit-level wormhole network simulator."""
+
+from .config import SimulationConfig
+from .deadlock import DeadlockError
+from .engine import Simulator
+from .metrics import SimulationResult, batch_means_ci
+from .network import SimNetwork
+from .reconfiguration import ReconfigurationReport, apply_runtime_fault
+from .runner import default_rate_grid, run_point, saturation_utilization, sweep_rates
+from .traffic import (
+    BitReversalTraffic,
+    HotspotTraffic,
+    TrafficPattern,
+    TransposeTraffic,
+    UniformTraffic,
+    make_traffic,
+)
+
+__all__ = [
+    "BitReversalTraffic",
+    "DeadlockError",
+    "HotspotTraffic",
+    "ReconfigurationReport",
+    "SimNetwork",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "TrafficPattern",
+    "TransposeTraffic",
+    "UniformTraffic",
+    "apply_runtime_fault",
+    "batch_means_ci",
+    "default_rate_grid",
+    "make_traffic",
+    "run_point",
+    "saturation_utilization",
+    "sweep_rates",
+]

@@ -1,0 +1,139 @@
+"""Simulation configuration.
+
+Defaults reproduce the paper's setup (Section 6): 16x16 networks, uniform
+traffic with geometric interarrival, fixed 20-flit messages, four virtual
+channels per physical channel in tori / two in meshes, depth-4 flit
+buffers, pipelined routers (3-cycle header / 2-cycle data delays), and an
+injection limit of two outstanding messages per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..faults import FaultSet
+from ..router.timing import PIPELINED, RouterTiming
+
+
+@dataclass
+class SimulationConfig:
+    """Everything needed to build and run one simulation point."""
+
+    # --- network -------------------------------------------------------
+    topology: str = "torus"  #: "torus" or "mesh"
+    radix: int = 16
+    dims: int = 2
+
+    # --- router organization -------------------------------------------
+    router_model: str = "pdr"  #: "pdr" or "crossbar"
+    fault_tolerant: bool = True  #: modified PDR organization + FT routing
+    #: routing algorithm: None derives from ``fault_tolerant`` ("ft" or
+    #: "ecube"); "table" selects the T3D-style two-phase table baseline
+    #: (Section 2's "rudimentary fault-tolerant routing")
+    routing_algorithm: Optional[str] = None
+    timing: RouterTiming = PIPELINED
+    #: virtual channels per physical channel; None = what the routing
+    #: scheme requires (4 torus / 2 mesh for FT, 2 / 1 for plain e-cube)
+    num_vcs: Optional[int] = None
+    buffer_depth: int = 4
+    #: let normal messages borrow idle virtual channels on channels that
+    #: are not on any f-ring (Section 6's congestion-reducing usage)
+    share_idle_vcs: bool = True
+    #: "rank" keeps the provably deadlock-free dateline-rank restriction;
+    #: "all" is the paper's literal all-classes sharing (matches the
+    #: paper's fault-free torus peak exactly but can wedge past
+    #: saturation — see EXPERIMENTS.md)
+    vc_sharing_mode: str = "rank"
+    #: how two-sided misroutes pick their ring orientation (the freedom
+    #: the algorithm leaves open): "destination", "shorter-side" or
+    #: "balanced" — see :class:`repro.core.FaultTolerantRouting`
+    orientation_policy: str = "destination"
+    #: independent protocol message classes, each with its own full bank
+    #: of virtual channel classes.  The Cray T3D "actually simulates four
+    #: virtual channels to handle two distinct classes of messages with
+    #: two virtual channels per class" (Section 2); set 2 here plus the
+    #: request-reply workload to model that request/response separation.
+    protocol_classes: int = 1
+
+    # --- faults ----------------------------------------------------------
+    #: one of the paper's named scenarios: 0, 1 or 5 (% links faulty);
+    #: ignored when ``faults`` is given explicitly
+    fault_percent: int = 0
+    faults: Optional[FaultSet] = None
+    fault_seed: int = 7
+    #: accept fault patterns whose f-rings overlap (share links); layer-1
+    #: regions then misroute on a second bank of virtual channel classes
+    #: (the extension of the authors' report [8])
+    allow_overlapping_rings: bool = False
+
+    # --- traffic ---------------------------------------------------------
+    traffic: str = "uniform"  #: "uniform", "transpose", "bit-reversal", "hotspot"
+    #: every delivered class-0 message (request) makes its destination
+    #: send a class-1 message (reply) back; requires protocol_classes >= 2
+    request_reply: bool = False
+    #: message generation probability per node per cycle (geometric
+    #: interarrival); applied flit load per node = rate * message_length
+    rate: float = 0.005
+    message_length: int = 20
+    injection_limit: int = 2
+
+    # --- measurement -----------------------------------------------------
+    warmup_cycles: int = 2_000
+    measure_cycles: int = 6_000
+    batches: int = 10
+    seed: int = 1
+    #: cycles of global inactivity (with messages in flight) treated as a
+    #: deadlock
+    deadlock_threshold: int = 2_000
+    #: record raw per-message latencies during measurement (histograms,
+    #: percentiles) at a small memory cost
+    collect_latencies: bool = False
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("torus", "mesh"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.router_model not in ("pdr", "crossbar"):
+            raise ValueError(f"unknown router model {self.router_model!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate is a per-cycle probability; need 0 <= rate <= 1")
+        if self.message_length < 2:
+            raise ValueError("messages need at least a header and a tail flit")
+        if self.buffer_depth < 1:
+            raise ValueError("buffer depth must be positive")
+        if self.vc_sharing_mode not in ("rank", "all"):
+            raise ValueError("vc_sharing_mode must be 'rank' or 'all'")
+        if self.routing_algorithm not in (None, "ft", "ecube", "table"):
+            raise ValueError("routing_algorithm must be one of ft/ecube/table")
+        if self.protocol_classes < 1:
+            raise ValueError("need at least one protocol class")
+        if self.request_reply and self.protocol_classes < 2:
+            raise ValueError(
+                "request-reply traffic needs protocol_classes >= 2 (separate "
+                "banks are what prevents protocol deadlock)"
+            )
+
+    @property
+    def is_torus(self) -> bool:
+        return self.topology == "torus"
+
+    @property
+    def effective_routing(self) -> str:
+        if self.routing_algorithm is not None:
+            return self.routing_algorithm
+        return "ft" if self.fault_tolerant else "ecube"
+
+    @property
+    def effective_sharing(self) -> str:
+        """The sharing mode handed to the node models: 'off', 'rank' or
+        'all'."""
+        return self.vc_sharing_mode if self.share_idle_vcs else "off"
+
+    def required_vcs(self) -> int:
+        """Virtual channels per physical channel actually simulated."""
+        if self.num_vcs is not None:
+            return self.num_vcs
+        algorithm = self.effective_routing
+        if algorithm in ("ft", "table"):
+            return 4 if self.is_torus else 2
+        return 2 if self.is_torus else 1

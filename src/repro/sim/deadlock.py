@@ -1,0 +1,43 @@
+"""Runtime deadlock detection.
+
+The routing algorithm is provably deadlock-free (Lemma 1); the simulator
+still watches for global inactivity as an executable check of that claim
+(and as a tripwire for configuration or implementation errors).  If no
+flit moves for ``deadlock_threshold`` cycles while messages are in
+flight, the run aborts with a diagnostic snapshot of the stuck worms.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class DeadlockError(RuntimeError):
+    """No flit made progress for the configured number of cycles while
+    messages were still in flight."""
+
+    def __init__(self, cycle: int, report: str):
+        super().__init__(f"network deadlocked by cycle {cycle}:\n{report}")
+        self.cycle = cycle
+        self.report = report
+
+
+def stuck_worm_report(channels, limit: int = 20) -> str:
+    """Human-readable snapshot of allocated virtual channels for deadlock
+    diagnostics."""
+    lines: List[str] = []
+    for channel in channels:
+        for vc in channel.busy:
+            message = vc.message
+            if message is None:
+                continue
+            lines.append(
+                f"  {channel.name or channel.kind.value} class c{vc.vc_class}: "
+                f"msg#{message.msg_id} {message.src}->{message.dst} "
+                f"(received {vc.received}, sent {vc.sent} of {message.length}, "
+                f"misrouted={message.route.is_misrouted})"
+            )
+            if len(lines) >= limit:
+                lines.append(f"  ... ({sum(len(c.busy) for c in channels)} busy VCs total)")
+                return "\n".join(lines)
+    return "\n".join(lines) if lines else "  (no busy virtual channels found)"

@@ -1,0 +1,430 @@
+"""Cycle-driven flit-level wormhole simulator.
+
+Each cycle has four phases:
+
+1. **Generation** — every healthy node generates a message with
+   probability ``rate`` (geometric interarrival) for a destination chosen
+   by the traffic pattern; generated messages queue at the source.
+2. **Injection** — a node whose queue is non-empty and which has fewer
+   than ``injection_limit`` previously injected messages still in the
+   node starts transmitting the next message on a free injection virtual
+   channel.
+3. **Route/VC allocation** — each router module processes one incoming
+   header (round-robin among its input virtual channels holding an
+   eligible header): the routing logic picks the output channel and the
+   admissible virtual channel classes; the header is allocated the first
+   free one, extending the worm.
+4. **Flit transfer** — every physical channel moves at most one flit
+   (demand time-multiplexed round-robin over its allocated virtual
+   channels whose upstream flit is eligible and whose buffer has space).
+   Flits entering a module input buffer become eligible after the router
+   timing delay; flits entering a consumption channel are delivered.
+
+A watchdog aborts if nothing moves for ``deadlock_threshold`` cycles
+while messages are in flight (executable deadlock-freedom check).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
+
+from ..router.channels import ChannelKind, VirtualChannel
+from ..router.messages import Message
+from ..router.modules import Module
+from ..topology import Coord, is_bisection_message
+from .config import SimulationConfig
+from .deadlock import DeadlockError, stuck_worm_report
+from .metrics import SimulationResult, batch_means_ci
+from .network import SimNetwork
+from .traffic import make_traffic
+
+
+class Simulator:
+    """One simulation run over a static network and fault scenario."""
+
+    def __init__(self, config: SimulationConfig, network: Optional[SimNetwork] = None):
+        self.config = config
+        if network is not None:
+            network.reset()  # drop any worms left over from a previous run
+            self.net = network
+        else:
+            self.net = SimNetwork(config)
+        self.gen_rng = random.Random(config.seed)
+        self.traffic = make_traffic(
+            config.traffic,
+            self.net.topology,
+            self.net.healthy,
+            random.Random(config.seed + 104729),
+        )
+        self.now = 0
+        self._msg_counter = 0
+        self.in_flight = 0
+        self._last_progress = 0
+
+        self.queues: Dict[Coord, Deque[Message]] = {c: deque() for c in self.net.healthy}
+        self.outstanding: Dict[Coord, int] = {c: 0 for c in self.net.healthy}
+        self._active_sources: Set[Coord] = set()
+        self._modules_waiting: Set[Module] = set()
+
+        # statistics (reset at the warmup boundary)
+        self.generated = 0
+        self.injected = 0
+        self.delivered = 0
+        self.delivered_flits = 0
+        self.bisection_messages = 0
+        self.latency_sum = 0.0
+        self.queueing_sum = 0.0
+        self.misrouted_messages = 0
+        self.misroute_hop_sum = 0
+        self._measuring = False
+        #: raw per-message latency samples (collected when
+        #: config.collect_latencies is set; for histograms/percentiles)
+        self.latency_samples: List[int] = []
+        self._batch_flits: List[int] = []
+        self._batch_lat_sum: List[float] = []
+        self._batch_lat_count: List[int] = []
+        self._current_batch = 0
+
+    # ------------------------------------------------------------------
+    # public driver
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        config = self.config
+        for _ in range(config.warmup_cycles):
+            self.step()
+        self._start_measurement()
+        batch_len = max(1, config.measure_cycles // config.batches)
+        for cycle_index in range(config.measure_cycles):
+            self._current_batch = min(cycle_index // batch_len, config.batches - 1)
+            self.step()
+        return self._result()
+
+    def step(self) -> None:
+        now = self.now
+        self._generate(now)
+        self._inject(now)
+        progress = self._allocate(now)
+        progress = self._transfer(now) or progress
+        if progress:
+            self._last_progress = now
+        elif self.in_flight > 0 and now - self._last_progress >= self.config.deadlock_threshold:
+            raise DeadlockError(now, stuck_worm_report(self.net.channels))
+        self.now = now + 1
+
+    # ------------------------------------------------------------------
+    # phase 1: generation
+    # ------------------------------------------------------------------
+    def _generate(self, now: int) -> None:
+        rate = self.config.rate
+        if rate <= 0.0:
+            return
+        rng_random = self.gen_rng.random
+        length = self.config.message_length
+        topology = self.net.topology
+        routing = self.net.routing
+        for coord in self.net.healthy:
+            if rng_random() >= rate:
+                continue
+            dst = self.traffic.destination(coord)
+            if dst is None:
+                continue
+            self._msg_counter += 1
+            message = Message(
+                self._msg_counter,
+                coord,
+                dst,
+                length,
+                routing.initial_state(coord, dst),
+                now,
+                is_bisection_message(coord, dst, topology),
+            )
+            self.queues[coord].append(message)
+            self._active_sources.add(coord)
+            if self._measuring:
+                self.generated += 1
+
+    def inject_message(self, src: Coord, dst: Coord) -> Message:
+        """Queue one explicit message (used by tests and examples that
+        drive the simulator without a stochastic traffic pattern)."""
+        self._msg_counter += 1
+        message = Message(
+            self._msg_counter,
+            src,
+            dst,
+            self.config.message_length,
+            self.net.routing.initial_state(src, dst),
+            self.now,
+            is_bisection_message(src, dst, self.net.topology),
+        )
+        self.queues[src].append(message)
+        self._active_sources.add(src)
+        return message
+
+    # ------------------------------------------------------------------
+    # phase 2: injection
+    # ------------------------------------------------------------------
+    def _inject(self, now: int) -> None:
+        if not self._active_sources:
+            return
+        limit = self.config.injection_limit
+        done: List[Coord] = []
+        for coord in self._active_sources:
+            queue = self.queues[coord]
+            if not queue:
+                done.append(coord)
+                continue
+            if self.outstanding[coord] >= limit:
+                continue
+            channel = self.net.nodes[coord].injection_channel
+            message = queue[0]
+            base = self.net.base_classes
+            bank = range(message.protocol * base, (message.protocol + 1) * base)
+            vc = channel.free_vc(bank)
+            if vc is None:
+                continue
+            queue.popleft()
+            vc.message = message
+            vc.upstream = message.source
+            channel.busy.append(vc)
+            message.injected_cycle = now
+            self.outstanding[coord] += 1
+            self.in_flight += 1
+            if self._measuring:
+                self.injected += 1
+            if not queue:
+                done.append(coord)
+        for coord in done:
+            self._active_sources.discard(coord)
+
+    # ------------------------------------------------------------------
+    # phase 3: route computation + virtual channel allocation
+    # ------------------------------------------------------------------
+    def _allocate(self, now: int) -> bool:
+        if not self._modules_waiting:
+            return False
+        routing = self.net.routing
+        share_idle = self.config.effective_sharing
+        nodes = self.net.nodes
+        progress = False
+        finished: List[Module] = []
+        for module in self._modules_waiting:
+            waiting = module.waiting
+            if not waiting:
+                finished.append(module)
+                continue
+            count = len(waiting)
+            start = module.rr % count
+            for offset in range(count):
+                vc = waiting[(start + offset) % count]
+                eligible = vc.eligible
+                if not eligible or eligible[0] > now:
+                    continue
+                resolution = vc.cached_resolution
+                if resolution is None:
+                    node = nodes[module.node_coord]
+                    resolution = node.resolve(module, vc.message, routing, share_idle)
+                    vc.cached_resolution = resolution
+                downstream = resolution.channel.free_vc(resolution.classes)
+                if downstream is None:
+                    continue
+                if resolution.commit_decision is not None:
+                    routing.commit_hop(
+                        vc.message.route, module.node_coord, resolution.commit_decision
+                    )
+                downstream.message = vc.message
+                downstream.upstream = vc
+                resolution.channel.busy.append(downstream)
+                vc.waiting_route = False
+                vc.cached_resolution = None
+                waiting.remove(vc)
+                module.rr = start + offset + 1
+                progress = True
+                break  # one header per module per cycle
+            if not waiting:
+                finished.append(module)
+        for module in finished:
+            self._modules_waiting.discard(module)
+        return progress
+
+    # ------------------------------------------------------------------
+    # phase 4: flit transfers
+    # ------------------------------------------------------------------
+    def _transfer(self, now: int) -> bool:
+        progress = False
+        timing = self.config.timing
+        header_delay = timing.header_delay
+        data_delay = timing.data_delay
+        internode = ChannelKind.INTERNODE
+        consumption = ChannelKind.CONSUMPTION
+        waiting_set = self._modules_waiting
+        for channel in self.net.channels:
+            busy = channel.busy
+            if not busy:
+                continue
+            count = len(busy)
+            start = channel.rr % count
+            for offset in range(count):
+                vc = busy[(start + offset) % count]
+                message = vc.message
+                if vc.received >= message.length:
+                    # Whole worm already received; the VC is only draining
+                    # downstream.  Its upstream reference is stale (that VC
+                    # may have been released and re-allocated), so it must
+                    # not pull again.
+                    continue
+                upstream = vc.upstream
+                if not upstream.has_eligible_flit(now):
+                    continue
+                kind = channel.kind
+                if kind is consumption:
+                    upstream.pop_flit()
+                    vc.received += 1
+                    vc.sent += 1
+                    if vc.received == message.length:
+                        message.consumed_cycle = now
+                        self._on_consumed(message)
+                        channel.release(vc)
+                else:
+                    if vc.received - vc.sent >= channel.buffer_depth:
+                        continue
+                    upstream.pop_flit()
+                    is_header = vc.received == 0
+                    vc.received += 1
+                    vc.eligible.append(now + (header_delay if is_header else data_delay))
+                    if is_header:
+                        module = channel.dst_module
+                        if module is not None:
+                            module.waiting.append(vc)
+                            vc.waiting_route = True
+                            waiting_set.add(module)
+                    if (
+                        not message.exited_source
+                        and kind is internode
+                        and vc.received == message.length
+                    ):
+                        message.exited_source = True
+                        self.outstanding[message.src] -= 1
+                        self._active_sources.add(message.src)
+                if type(upstream) is VirtualChannel and upstream.sent == message.length:
+                    upstream.channel.release(upstream)
+                channel.transfers += 1
+                channel.rr = (start + offset + 1) % count
+                progress = True
+                break  # one flit per physical channel per cycle
+        return progress
+
+    # ------------------------------------------------------------------
+    def _on_consumed(self, message: Message) -> None:
+        self.in_flight -= 1
+        if self.config.request_reply and message.protocol == 0:
+            self._send_reply(message)
+        if not self._measuring:
+            return
+        self.delivered += 1
+        self.delivered_flits += message.length
+        self._batch_flits[self._current_batch] += message.length
+        self.latency_sum += message.latency
+        if self.config.collect_latencies:
+            self.latency_samples.append(message.latency)
+        self.queueing_sum += message.queueing_delay
+        self._batch_lat_sum[self._current_batch] += message.latency
+        self._batch_lat_count[self._current_batch] += 1
+        if message.is_bisection:
+            self.bisection_messages += 1
+        if message.route.misroute_hops:
+            self.misrouted_messages += 1
+            self.misroute_hop_sum += message.route.misroute_hops
+
+    def _send_reply(self, request: Message) -> None:
+        """Request-reply protocol: the consumer answers on the reply bank
+        (protocol class 1), mirroring the T3D's two message classes."""
+        self._msg_counter += 1
+        reply = Message(
+            self._msg_counter,
+            request.dst,
+            request.src,
+            self.config.message_length,
+            self.net.routing.initial_state(request.dst, request.src),
+            self.now,
+            is_bisection_message(request.dst, request.src, self.net.topology),
+            protocol=1,
+        )
+        self.queues[request.dst].append(reply)
+        self._active_sources.add(request.dst)
+        if self._measuring:
+            self.generated += 1
+
+    def _start_measurement(self) -> None:
+        self._measuring = True
+        batches = self.config.batches
+        self._batch_flits = [0] * batches
+        self._batch_lat_sum = [0.0] * batches
+        self._batch_lat_count = [0] * batches
+
+    # ------------------------------------------------------------------
+    def _result(self) -> SimulationResult:
+        config = self.config
+        cycles = config.measure_cycles
+        delivered = self.delivered
+        batch_latencies = [
+            s / c for s, c in zip(self._batch_lat_sum, self._batch_lat_count) if c
+        ]
+        _mean, latency_ci = batch_means_ci(batch_latencies)
+        batch_len = max(1, cycles // config.batches)
+        return SimulationResult(
+            topology=config.topology,
+            radix=config.radix,
+            dims=config.dims,
+            router_model=config.router_model,
+            timing_name=config.timing.name,
+            fault_percent=config.fault_percent,
+            rate=config.rate,
+            message_length=config.message_length,
+            num_vcs=self.net.num_classes,
+            seed=config.seed,
+            cycles=cycles,
+            generated=self.generated,
+            injected=self.injected,
+            delivered=delivered,
+            delivered_flits=self.delivered_flits,
+            bisection_messages=self.bisection_messages,
+            bisection_bandwidth=self.net.bisection_bandwidth,
+            avg_latency=self.latency_sum / delivered if delivered else 0.0,
+            latency_ci=latency_ci,
+            avg_queueing=self.queueing_sum / delivered if delivered else 0.0,
+            misrouted_messages=self.misrouted_messages,
+            avg_misroute_hops=(
+                self.misroute_hop_sum / self.misrouted_messages
+                if self.misrouted_messages
+                else 0.0
+            ),
+            final_source_queue=sum(len(q) for q in self.queues.values()),
+            in_flight_at_end=self.in_flight,
+            batch_flits=[flits / batch_len for flits in self._batch_flits],
+            batch_latency=batch_latencies,
+        )
+
+    # ------------------------------------------------------------------
+    def inject_runtime_fault(self, *, nodes=(), links=()):
+        """Fail components mid-simulation and reconfigure; see
+        :func:`repro.sim.reconfiguration.apply_runtime_fault`."""
+        from .reconfiguration import apply_runtime_fault
+
+        return apply_runtime_fault(self, nodes=nodes, links=links)
+
+    # ------------------------------------------------------------------
+    def drain(self, max_cycles: int = 500_000) -> None:
+        """Run with generation disabled until every queued/in-flight
+        message is delivered (integration-test helper)."""
+        saved_rate = self.config.rate
+        self.config.rate = 0.0
+        try:
+            for _ in range(max_cycles):
+                if self.in_flight == 0 and not any(self.queues[c] for c in self._active_sources):
+                    return
+                self.step()
+            raise DeadlockError(self.now, stuck_worm_report(self.net.channels))
+        finally:
+            self.config.rate = saved_rate

@@ -1,0 +1,213 @@
+"""Builds a simulated network: node models wired by physical channels.
+
+Faulty nodes get no router at all and faulty links no channels — a failed
+component "simply ceases to work" (Section 3).  Channels whose links lie
+on an f-ring are flagged so virtual channel sharing is disabled on them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..core import ECubeRouting, FaultTolerantRouting
+from ..core.table_routing import TableRouting
+from ..faults import FaultScenario, FaultSet, paper_fault_scenario, validate_fault_pattern
+from ..router.channels import ChannelKind, PhysicalChannel
+from ..router.modules import CrossbarNode, Module, NodeModel, PDRNode
+from ..topology import (
+    BiLink,
+    Coord,
+    GridNetwork,
+    bisection_bandwidth,
+    make_network,
+)
+from .config import SimulationConfig
+
+
+class SimNetwork:
+    """All static structure of one simulation: topology, fault scenario,
+    routing algorithm, node models, and physical channels."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        self.topology: GridNetwork = make_network(config.topology, config.radix, config.dims)
+        self.scenario = self._build_scenario()
+        self.routing = self._build_routing()
+        #: classes one protocol bank needs (the paper's 4 torus / 2 mesh)
+        self.base_classes = max(config.required_vcs(), self.routing.num_vc_classes)
+        #: total simulated classes per physical channel (all banks)
+        self.num_classes = self.base_classes * config.protocol_classes
+
+        faults = self.scenario.faults
+        self.healthy: List[Coord] = [
+            c for c in self.topology.nodes() if c not in faults.node_faults
+        ]
+        self.bisection_bandwidth = bisection_bandwidth(
+            self.topology, faults.all_faulty_links(self.topology)
+        )
+
+        self._ring_links = set()
+        self._ring_nodes = set()
+        for ring in self.scenario.ring_index.rings:
+            self._ring_links.update(ring.perimeter_links())
+            self._ring_nodes.update(ring.perimeter_nodes())
+
+        self.nodes: Dict[Coord, NodeModel] = {}
+        self.channels: List[PhysicalChannel] = []
+        self.modules: List[Module] = []
+        self._build_nodes()
+        self._wire_channels()
+
+    # ------------------------------------------------------------------
+    def _build_scenario(self) -> FaultScenario:
+        config = self.config
+        topology = make_network(config.topology, config.radix, config.dims)
+        if config.faults is not None:
+            return validate_fault_pattern(
+                topology,
+                config.faults,
+                allow_blocking=True,
+                allow_overlapping_rings=config.allow_overlapping_rings,
+            )
+        if config.fault_percent == 0:
+            return validate_fault_pattern(topology, FaultSet())
+        return paper_fault_scenario(
+            topology, config.fault_percent, random.Random(config.fault_seed)
+        )
+
+    def _build_routing(self):
+        algorithm = self.config.effective_routing
+        if algorithm == "ft":
+            return FaultTolerantRouting.for_scenario(
+                self.topology,
+                self.scenario,
+                orientation_policy=self.config.orientation_policy,
+            )
+        if algorithm == "table":
+            return TableRouting.for_scenario(self.topology, self.scenario)
+        if not self.scenario.faults.empty:
+            raise ValueError("plain e-cube routing cannot be used with faults")
+        return ECubeRouting(self.topology)
+
+    def _build_nodes(self) -> None:
+        config = self.config
+        for coord in self.healthy:
+            if config.router_model == "crossbar":
+                node: NodeModel = CrossbarNode(
+                    coord, self.topology, self.num_classes, self.base_classes
+                )
+            else:
+                node = PDRNode(
+                    coord,
+                    self.topology,
+                    self.num_classes,
+                    self.base_classes,
+                    # the table baseline's via-turns also need the modified
+                    # interchip connections (a strict forward-chain PDR
+                    # cannot re-enter a lower dimension)
+                    fault_tolerant=config.fault_tolerant
+                    or config.effective_routing == "table",
+                )
+            node.on_ring = coord in self._ring_nodes
+            self.nodes[coord] = node
+            self.modules.extend(node.modules)
+
+    # ------------------------------------------------------------------
+    def _new_channel(self, kind: ChannelKind, **kwargs) -> PhysicalChannel:
+        channel = PhysicalChannel(
+            kind, self.num_classes, buffer_depth=self.config.buffer_depth, **kwargs
+        )
+        self.channels.append(channel)
+        return channel
+
+    def _wire_channels(self) -> None:
+        faults = self.scenario.faults
+        faulty_links = faults.all_faulty_links(self.topology)
+        for coord, node in self.nodes.items():
+            inject_module = node.injection_module()
+            node.injection_channel = self._new_channel(
+                ChannelKind.INJECTION,
+                src_node=coord,
+                dst_node=coord,
+                dst_module=inject_module,
+                name=f"inject@{coord}",
+            )
+            last_module = node.modules[-1]
+            delivery = self._new_channel(
+                ChannelKind.CONSUMPTION,
+                src_node=coord,
+                dst_node=coord,
+                name=f"deliver@{coord}",
+            )
+            last_module.outputs["deliver"] = delivery
+            node.delivery_channel = delivery
+
+            if isinstance(node, PDRNode):
+                for module in node.modules:
+                    for target in node.interchip_targets(module.dim_index):
+                        channel = self._new_channel(
+                            ChannelKind.INTERCHIP,
+                            src_node=coord,
+                            dst_node=coord,
+                            dst_module=node.modules[target],
+                            name=f"chip{module.dim_index}->chip{target}@{coord}",
+                        )
+                        module.outputs[("chip", target)] = channel
+
+        for coord, node in self.nodes.items():
+            for dim, direction, neighbor in self.topology.neighbors(coord):
+                if neighbor in faults.node_faults:
+                    continue
+                link = BiLink.between(coord, neighbor, dim, self.topology.radix)
+                if link in faulty_links:
+                    continue
+                dst_node = self.nodes[neighbor]
+                dst_module = (
+                    dst_node.modules[dim]
+                    if isinstance(dst_node, PDRNode)
+                    else dst_node.modules[0]
+                )
+                src_module = (
+                    node.modules[dim] if isinstance(node, PDRNode) else node.modules[0]
+                )
+                channel = self._new_channel(
+                    ChannelKind.INTERNODE,
+                    src_node=coord,
+                    dst_node=neighbor,
+                    dim=dim,
+                    direction=direction,
+                    dst_module=dst_module,
+                    name=f"{coord}->DIM{dim}{direction.symbol}",
+                )
+                channel.on_ring = link in self._ring_links
+                src_module.outputs[("node", dim, direction)] = channel
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear all dynamic channel/module state (in-flight worms, header
+        queues, round-robin pointers) so the network can be reused by a
+        fresh :class:`~repro.sim.engine.Simulator` — e.g. across the load
+        points of a sweep."""
+        for channel in self.channels:
+            for vc in channel.vcs:
+                vc.reset()
+            channel.busy.clear()
+            channel.rr = 0
+            channel.transfers = 0
+        for module in self.modules:
+            module.waiting.clear()
+            module.rr = 0
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line summary used by harness logs."""
+        faults = self.scenario.faults
+        return (
+            f"{self.config.topology} {self.config.radix}^{self.config.dims}, "
+            f"{self.config.router_model} ({self.config.timing.name}), "
+            f"{self.num_classes} VCs, "
+            f"{len(faults.node_faults)} node + {len(faults.link_faults)} link faults "
+            f"({100 * faults.faulty_link_fraction(self.topology):.1f}% links), "
+            f"bisection {self.bisection_bandwidth} flits/cycle"
+        )

@@ -1,0 +1,246 @@
+"""Runtime fault injection and network reconfiguration.
+
+The paper's fault handling story (Section 3) is: components fail
+permanently and fail-stop; each node detects faults on its own links via
+status signals and reports them to its neighbors; once every f-ring node
+knows its ring neighbors, the fault-tolerant routing operates on the new
+fault knowledge.  The transition itself is destructive — flits in wormhole
+transit through a dying node or link are simply lost.
+
+:func:`apply_runtime_fault` performs that transition on a live
+simulator:
+
+1. the new faults are merged with the existing ones, re-blocked and
+   re-validated (the same convexity / non-overlap / connectivity rules as
+   static scenarios — the model's assumptions must keep holding);
+2. victim worms are truncated and discarded: every message holding a
+   virtual channel on a dying channel, every message to or from a dead
+   node, and every message caught mid-misroute (its ring geometry may
+   have changed under it);
+3. the static structures are rebuilt: routing logic, f-ring index,
+   ring flags on channels, dying channels unwired, healthy-node lists and
+   bisection bandwidth updated;
+4. every waiting header's cached route resolution is invalidated so the
+   next arbitration uses the new fault knowledge.
+
+Surviving normal messages continue unharmed: routing decisions are made
+hop by hop from the current node, so they simply start detouring when
+they meet the new fault ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Set, Tuple
+
+from ..core import FaultTolerantRouting
+from ..faults import FaultSet, validate_fault_pattern
+from ..router.channels import ChannelKind, PhysicalChannel
+from ..router.messages import Message
+from ..topology import BiLink, Coord, Direction, bisection_bandwidth
+
+
+@dataclass
+class ReconfigurationReport:
+    """What one runtime fault event did to the network."""
+
+    cycle: int
+    new_node_faults: Tuple[Coord, ...]
+    new_link_faults: Tuple[BiLink, ...]
+    dropped_in_flight: int
+    dropped_queued: int
+    channels_removed: int
+    #: message ids lost in transit (for reliability accounting / retry
+    #: layers built on top)
+    lost_message_ids: List[int] = field(default_factory=list)
+
+
+def apply_runtime_fault(
+    simulator,
+    *,
+    nodes: Iterable[Coord] = (),
+    links: Iterable[Tuple[Coord, int, Direction]] = (),
+) -> ReconfigurationReport:
+    """Fail components on a running :class:`~repro.sim.engine.Simulator`.
+
+    Raises the usual fault-model errors (non-convex pattern, overlapping
+    f-rings, disconnection) *before* touching any state, so a rejected
+    event leaves the simulation unchanged.
+    """
+    net = simulator.net
+    topology = net.topology
+    addition = FaultSet.of(topology, nodes=nodes, links=links)
+    if addition.empty:
+        raise ValueError("runtime fault event needs at least one node or link")
+    merged = net.scenario.faults.merged_with(addition)
+    scenario = validate_fault_pattern(topology, merged, allow_blocking=True)
+
+    # ------------------------------------------------------------------
+    # determine what actually died (blocking may have expanded the set)
+    # ------------------------------------------------------------------
+    old_nodes = net.scenario.faults.node_faults
+    dead_nodes = scenario.faults.node_faults - old_nodes
+    old_links = net.scenario.faults.all_faulty_links(topology)
+    dead_links = scenario.faults.all_faulty_links(topology) - old_links
+
+    dying_channels = _dying_channels(net, dead_nodes, dead_links)
+
+    # ------------------------------------------------------------------
+    # pick victims
+    # ------------------------------------------------------------------
+    victims: Set[Message] = set()
+    for channel in dying_channels:
+        for vc in list(channel.busy):
+            if vc.message is not None:
+                victims.add(vc.message)
+    for channel in net.channels:
+        for vc in channel.busy:
+            message = vc.message
+            if message is None:
+                continue
+            if message.dst in dead_nodes or message.src in dead_nodes:
+                victims.add(message)
+            elif message.route.is_misrouted:
+                # conservative: its f-ring may have merged with the new
+                # region; restart-from-scratch semantics are simplest and
+                # match a fail-stop truncation
+                victims.add(message)
+
+    lost_ids = sorted(m.msg_id for m in victims)
+    for message in victims:
+        _kill_worm(simulator, message)
+
+    dropped_queued = _drop_queued(simulator, dead_nodes)
+
+    # ------------------------------------------------------------------
+    # rebuild static structures
+    # ------------------------------------------------------------------
+    net.scenario = scenario
+    net.routing = FaultTolerantRouting.for_scenario(
+        topology, scenario, orientation_policy=simulator.config.orientation_policy
+    )
+    net.healthy = [c for c in topology.nodes() if c not in scenario.faults.node_faults]
+    net.bisection_bandwidth = bisection_bandwidth(
+        topology, scenario.faults.all_faulty_links(topology)
+    )
+
+    ring_links = set()
+    ring_nodes = set()
+    for ring in scenario.ring_index.rings:
+        ring_links.update(ring.perimeter_links())
+        ring_nodes.update(ring.perimeter_nodes())
+    for channel in net.channels:
+        if channel.kind is ChannelKind.INTERNODE:
+            link = BiLink.between(
+                channel.src_node, channel.dst_node, channel.dim, topology.radix
+            )
+            channel.on_ring = link in ring_links
+    for coord, node in net.nodes.items():
+        node.on_ring = coord in ring_nodes
+
+    _unwire(net, dying_channels, dead_nodes)
+
+    # stale route resolutions refer to the old fault view
+    for module in net.modules:
+        for vc in module.waiting:
+            vc.cached_resolution = None
+
+    # the traffic pattern must stop targeting dead nodes
+    simulator.traffic.healthy = list(net.healthy)
+    simulator.traffic.healthy_set = set(net.healthy)
+
+    # drop stale arbitration state owned by removed modules
+    simulator._modules_waiting = {
+        module
+        for module in simulator._modules_waiting
+        if module.waiting and module.node_coord not in dead_nodes
+    }
+
+    return ReconfigurationReport(
+        cycle=simulator.now,
+        new_node_faults=tuple(sorted(dead_nodes)),
+        new_link_faults=tuple(sorted(dead_links - _incident_links(topology, dead_nodes))),
+        dropped_in_flight=len(victims),
+        dropped_queued=dropped_queued,
+        channels_removed=len(dying_channels),
+        lost_message_ids=lost_ids,
+    )
+
+
+# ----------------------------------------------------------------------
+def _incident_links(topology, dead_nodes) -> Set[BiLink]:
+    links: Set[BiLink] = set()
+    for coord in dead_nodes:
+        for dim, _direction, other in topology.neighbors(coord):
+            links.add(BiLink.between(coord, other, dim, topology.radix))
+    return links
+
+
+def _dying_channels(net, dead_nodes, dead_links) -> List[PhysicalChannel]:
+    dying = []
+    for channel in net.channels:
+        if channel.src_node in dead_nodes or channel.dst_node in dead_nodes:
+            dying.append(channel)
+        elif channel.kind is ChannelKind.INTERNODE:
+            link = BiLink.between(
+                channel.src_node, channel.dst_node, channel.dim, net.topology.radix
+            )
+            if link in dead_links:
+                dying.append(channel)
+    return dying
+
+
+def _kill_worm(simulator, message: Message) -> None:
+    """Truncate and discard a worm: free every virtual channel it holds,
+    remove any waiting-header entries, and fix the accounting."""
+    net = simulator.net
+    for channel in net.channels:
+        for vc in list(channel.busy):
+            if vc.message is message:
+                module = channel.dst_module
+                if module is not None and vc in module.waiting:
+                    module.waiting.remove(vc)
+                channel.release(vc)
+    if message.injected_cycle is not None and message.consumed_cycle is None:
+        simulator.in_flight -= 1
+        if not message.exited_source and message.src in simulator.outstanding:
+            simulator.outstanding[message.src] -= 1
+
+
+def _drop_queued(simulator, dead_nodes) -> int:
+    """Drop generated-but-not-injected messages at dead sources and those
+    addressed to dead destinations."""
+    dropped = 0
+    for coord, queue in simulator.queues.items():
+        if coord in dead_nodes:
+            dropped += len(queue)
+            queue.clear()
+            continue
+        keep = [m for m in queue if m.dst not in dead_nodes]
+        dropped += len(queue) - len(keep)
+        queue.clear()
+        queue.extend(keep)
+    for coord in dead_nodes:
+        simulator._active_sources.discard(coord)
+    return dropped
+
+
+def _unwire(net, dying_channels, dead_nodes) -> None:
+    """Remove dying channels from the simulation and dead nodes from the
+    node map (a failed node 'simply stops sending signals on all of its
+    outgoing channels')."""
+    dying_set = set(map(id, dying_channels))
+    for node in net.nodes.values():
+        for module in node.modules:
+            for key, channel in list(module.outputs.items()):
+                if id(channel) in dying_set:
+                    del module.outputs[key]
+    net.channels = [ch for ch in net.channels if id(ch) not in dying_set]
+    net.modules = [
+        module
+        for module in net.modules
+        if module.node_coord not in dead_nodes
+    ]
+    for coord in list(net.nodes):
+        if coord in dead_nodes:
+            del net.nodes[coord]

@@ -1,0 +1,67 @@
+"""High-level drivers: run one point or sweep the load axis.
+
+A network (topology + faults + routing + wiring) is built once per
+configuration and reused across load points, which is what makes the
+latency-vs-load sweeps behind each figure affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence
+
+from .config import SimulationConfig
+from .engine import Simulator
+from .metrics import SimulationResult
+from .network import SimNetwork
+
+
+def run_point(config: SimulationConfig, network: Optional[SimNetwork] = None) -> SimulationResult:
+    """Build (or reuse) the network and run one simulation point."""
+    return Simulator(config, network).run()
+
+
+def sweep_rates(
+    base: SimulationConfig,
+    rates: Sequence[float],
+    *,
+    progress: Optional[Callable[[SimulationResult], None]] = None,
+) -> List[SimulationResult]:
+    """Run the same configuration across message-generation rates (the
+    load axis of Figures 8-10).  The network is built once; each point
+    gets a fresh simulator state."""
+    network = SimNetwork(base)
+    results = []
+    for rate in rates:
+        config = replace(base, rate=rate)
+        result = Simulator(config, network).run()
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results
+
+
+def saturation_utilization(results: Sequence[SimulationResult]) -> float:
+    """Peak bisection utilization over a sweep (the paper's headline
+    per-scenario number, e.g. "peak utilization for torus PDR without
+    faults is 52%")."""
+    return max((r.bisection_utilization for r in results), default=0.0)
+
+
+def default_rate_grid(topology: str, fault_percent: int) -> List[float]:
+    """Load grids that bracket each scenario's saturation point.
+
+    Saturation for uniform traffic is roughly where the offered bisection
+    load meets the bisection bandwidth; faulty networks saturate far
+    earlier because f-ring channels become hotspots."""
+    if fault_percent == 0:
+        grid = [0.002, 0.005, 0.008, 0.012, 0.016, 0.020, 0.026, 0.032]
+    elif fault_percent == 1:
+        grid = [0.002, 0.004, 0.006, 0.009, 0.012, 0.016, 0.020]
+    else:
+        grid = [0.001, 0.003, 0.005, 0.007, 0.010, 0.014, 0.018]
+    if topology == "mesh":
+        # the mesh's bisection is half the torus's, but so is the average
+        # path pressure; the same grids bracket saturation in practice
+        return grid
+    return grid

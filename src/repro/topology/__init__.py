@@ -1,0 +1,50 @@
+"""Topology substrate: (k, n)-torus and mesh networks.
+
+Public classes/functions:
+
+* :class:`Torus`, :class:`Mesh`, :func:`make_network` — network structure.
+* :class:`Direction` — ``DIM_{i+}`` / ``DIM_{i-}`` travel directions.
+* :class:`BiLink` — undirected full-duplex link identity.
+* :func:`bisection_bandwidth`, :func:`is_bisection_message` — the paper's
+  bisection-utilization machinery.
+"""
+
+from .coordinates import (
+    Coord,
+    Direction,
+    all_coords,
+    coord_to_id,
+    id_to_coord,
+    ring_span,
+    ring_span_length,
+    torus_distance,
+)
+from .grid import BiLink, GridNetwork, Mesh, Torus, make_network
+from .bisection import (
+    BISECTION_DIM,
+    bisection_bandwidth,
+    bisection_links,
+    is_bisection_message,
+    side_of_bisection,
+)
+
+__all__ = [
+    "BISECTION_DIM",
+    "BiLink",
+    "Coord",
+    "Direction",
+    "GridNetwork",
+    "Mesh",
+    "Torus",
+    "all_coords",
+    "bisection_bandwidth",
+    "bisection_links",
+    "coord_to_id",
+    "id_to_coord",
+    "is_bisection_message",
+    "make_network",
+    "ring_span",
+    "ring_span_length",
+    "side_of_bisection",
+    "torus_distance",
+]

@@ -1,0 +1,105 @@
+"""Coordinate arithmetic for (k, n)-grid networks.
+
+A node of a (k, n)-torus or mesh is identified by a radix-``k`` ``n``-tuple
+``(x_{n-1}, ..., x_0)``.  Following the paper we store coordinates in a
+Python tuple indexed by dimension, i.e. ``coord[i]`` is the position of the
+node in dimension ``DIM_i``.  Nodes are also given a dense integer id for
+use as array/dict keys; dimension 0 is the fastest-varying digit.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterator, Sequence, Tuple
+
+Coord = Tuple[int, ...]
+
+
+class Direction(IntEnum):
+    """Direction of travel along one dimension.
+
+    ``POS`` corresponds to the paper's ``DIM_{i+}`` channels (coordinate
+    increases, modulo ``k`` in a torus) and ``NEG`` to ``DIM_{i-}``.
+    """
+
+    POS = 1
+    NEG = -1
+
+    @property
+    def opposite(self) -> "Direction":
+        return Direction.NEG if self is Direction.POS else Direction.POS
+
+    @property
+    def symbol(self) -> str:
+        return "+" if self is Direction.POS else "-"
+
+
+def coord_to_id(coord: Sequence[int], radix: int) -> int:
+    """Convert a coordinate tuple to a dense node id.
+
+    Dimension 0 is the least-significant digit, so for a (4, 2) network
+    node ``(x1, x0) = (1, 2)`` (stored as ``coord == (2, 1)``) has id 6.
+    """
+    node_id = 0
+    for axis in reversed(range(len(coord))):
+        digit = coord[axis]
+        if not 0 <= digit < radix:
+            raise ValueError(f"coordinate {tuple(coord)} out of range for radix {radix}")
+        node_id = node_id * radix + digit
+    return node_id
+
+
+def id_to_coord(node_id: int, radix: int, dims: int) -> Coord:
+    """Convert a dense node id back to its coordinate tuple."""
+    if not 0 <= node_id < radix**dims:
+        raise ValueError(f"node id {node_id} out of range for ({radix},{dims}) network")
+    digits = []
+    for _ in range(dims):
+        digits.append(node_id % radix)
+        node_id //= radix
+    return tuple(digits)
+
+
+def all_coords(radix: int, dims: int) -> Iterator[Coord]:
+    """Iterate over every node coordinate in id order."""
+    for node_id in range(radix**dims):
+        yield id_to_coord(node_id, radix, dims)
+
+
+def step(coord: Coord, dim: int, direction: Direction, radix: int, *, wrap: bool) -> Coord:
+    """Return the neighbor of ``coord`` one hop away in ``dim``/``direction``.
+
+    With ``wrap`` the move is modulo ``radix`` (torus); without it the move
+    may fall off the boundary, in which case ``None`` semantics are left to
+    the caller via a ``ValueError``.
+    """
+    value = coord[dim] + int(direction)
+    if wrap:
+        value %= radix
+    elif not 0 <= value < radix:
+        raise ValueError(f"step off mesh boundary: {coord} dim {dim} dir {direction.symbol}")
+    return coord[:dim] + (value,) + coord[dim + 1 :]
+
+
+def torus_distance(a: int, b: int, radix: int) -> int:
+    """Minimal hop distance between positions ``a`` and ``b`` on a ring."""
+    forward = (b - a) % radix
+    return min(forward, radix - forward)
+
+
+def ring_span(lo: int, hi: int, radix: int) -> Iterator[int]:
+    """Yield ring positions from ``lo`` to ``hi`` inclusive, moving in the
+    positive direction and wrapping modulo ``radix``.
+
+    ``ring_span(6, 1, 8)`` yields ``6, 7, 0, 1``.
+    """
+    position = lo % radix
+    yield position
+    while position != hi % radix:
+        position = (position + 1) % radix
+        yield position
+
+
+def ring_span_length(lo: int, hi: int, radix: int) -> int:
+    """Number of positions yielded by :func:`ring_span`."""
+    return (hi - lo) % radix + 1

@@ -1,0 +1,69 @@
+"""Unit tests for report formatting helpers."""
+
+from repro.analysis import ascii_chart, format_table, latency_series, utilization_series
+from repro.analysis.report import results_table
+from repro.sim.metrics import SimulationResult
+
+
+def result(rate=0.01, latency=100.0, bisection=100):
+    return SimulationResult(
+        topology="torus", radix=8, dims=2, router_model="pdr",
+        timing_name="pipelined", fault_percent=0, rate=rate, message_length=20,
+        num_vcs=4, seed=1, cycles=1000, generated=10, injected=10, delivered=10,
+        delivered_flits=200, bisection_messages=bisection, bisection_bandwidth=32,
+        avg_latency=latency, latency_ci=1.0, avg_queueing=0.0,
+        misrouted_messages=0, avg_misroute_hops=0.0, final_source_queue=0,
+        in_flight_at_end=0,
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "--" in lines[1]
+        assert lines[2].endswith("2.50")
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table(["x"], [["a-very-long-cell"]])
+        assert "a-very-long-cell" in text
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart({"s1": [(0, 0), (1, 1)], "s2": [(0, 1), (1, 0)]})
+        assert "o=s1" in chart and "x=s2" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_empty(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_single_point(self):
+        chart = ascii_chart({"s": [(1.0, 2.0)]})
+        assert "o=s" in chart
+
+    def test_axis_ranges_rendered(self):
+        chart = ascii_chart({"s": [(0.0, 5.0), (2.0, 15.0)]}, x_label="load")
+        assert "load [0.000 .. 2.000]" in chart
+        assert "5.0 .. 15.0" in chart
+
+
+class TestSeries:
+    def test_latency_series(self):
+        series = latency_series([result(rate=0.01, latency=50.0)])
+        assert series == [(0.2, 50.0)]
+
+    def test_utilization_series(self):
+        series = utilization_series([result(bisection=160)])
+        # 160/1000 msgs/cycle * 20 / 32 = 10%
+        assert abs(series[0][1] - 10.0) < 1e-9
+
+    def test_results_table_renders(self):
+        text = results_table([result(), result(rate=0.02)])
+        assert "rho_b %" in text
+        assert text.count("\n") >= 3

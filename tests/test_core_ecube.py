@@ -1,0 +1,122 @@
+"""Unit tests for dimension-order routing."""
+
+from repro.core import (
+    ECubeRouting,
+    ecube_hop,
+    ecube_hop_count,
+    ecube_path,
+    next_ecube_dim,
+    will_cross_dateline,
+)
+from repro.topology import Direction, Mesh, Torus
+
+
+class TestNextDim:
+    def test_lowest_differing_dim(self):
+        assert next_ecube_dim((0, 0), (3, 3)) == 0
+        assert next_ecube_dim((3, 0), (3, 3)) == 1
+        assert next_ecube_dim((3, 3), (3, 3)) is None
+
+    def test_3d(self):
+        assert next_ecube_dim((1, 2, 3), (1, 2, 5)) == 2
+
+
+class TestHop:
+    def test_torus_minimal_direction(self):
+        t = Torus(8, 2)
+        assert ecube_hop(t, (0, 0), (2, 0)) == (0, Direction.POS)
+        assert ecube_hop(t, (0, 0), (6, 0)) == (0, Direction.NEG)
+
+    def test_arrived(self):
+        assert ecube_hop(Torus(8, 2), (1, 1), (1, 1)) is None
+
+
+class TestPath:
+    def test_path_is_minimal_torus(self):
+        t = Torus(8, 2)
+        for src in [(0, 0), (3, 5)]:
+            for dst in [(7, 7), (4, 1), (0, 6)]:
+                if src == dst:
+                    continue
+                path = ecube_path(t, src, dst)
+                assert len(path) - 1 == t.distance(src, dst)
+                assert path[0] == src and path[-1] == dst
+
+    def test_path_is_minimal_mesh(self):
+        m = Mesh(8, 2)
+        path = ecube_path(m, (0, 0), (7, 7))
+        assert len(path) - 1 == 14
+
+    def test_dimension_order_respected(self):
+        t = Torus(8, 2)
+        path = ecube_path(t, (0, 0), (3, 3))
+        dims_changed = [
+            next(d for d in range(2) if a[d] != b[d]) for a, b in zip(path, path[1:])
+        ]
+        assert dims_changed == sorted(dims_changed)
+
+    def test_hop_count_equals_distance(self):
+        t = Torus(8, 2)
+        assert ecube_hop_count(t, (0, 0), (7, 7)) == 2
+
+
+class TestDateline:
+    def test_crossing(self):
+        t = Torus(8, 2)
+        assert will_cross_dateline(t, (6, 0), (1, 0), 0)
+        assert not will_cross_dateline(t, (1, 0), (4, 0), 0)
+
+    def test_no_remaining_hops(self):
+        t = Torus(8, 2)
+        assert not will_cross_dateline(t, (3, 0), (3, 5), 0)
+
+
+class TestECubeRouting:
+    def test_torus_class_switch_at_dateline(self):
+        t = Torus(8, 2)
+        router = ECubeRouting(t)
+        state = router.initial_state((6, 0), (1, 0))
+        current = (6, 0)
+        classes = []
+        while True:
+            decision = router.next_hop(state, current)
+            if decision.consume:
+                break
+            classes.append(decision.vc_class)
+            current = router.commit_hop(state, current, decision)
+        # 6 -> 7 on c0; wraparound hop 7 -> 0 and after on c1
+        assert classes == [0, 1, 1]
+
+    def test_mesh_always_class0(self):
+        m = Mesh(8, 2)
+        router = ECubeRouting(m)
+        assert router.num_vc_classes == 1
+        state = router.initial_state((0, 0), (3, 3))
+        current = (0, 0)
+        while True:
+            decision = router.next_hop(state, current)
+            if decision.consume:
+                break
+            assert decision.vc_class == 0
+            current = router.commit_hop(state, current, decision)
+
+    def test_route_path_matches_ecube_path(self):
+        t = Torus(8, 2)
+        router = ECubeRouting(t)
+        assert router.route_path((0, 0), (5, 2)) == ecube_path(t, (0, 0), (5, 2))
+
+    def test_wrapped_flag_resets_between_dims(self):
+        t = Torus(8, 2)
+        router = ECubeRouting(t)
+        state = router.initial_state((6, 6), (1, 1))  # wraps in both dims
+        current = (6, 6)
+        dim1_classes = []
+        while True:
+            decision = router.next_hop(state, current)
+            if decision.consume:
+                break
+            if decision.dim == 1:
+                dim1_classes.append(decision.vc_class)
+            current = router.commit_hop(state, current, decision)
+        # first dim-1 hops pre-wrap must be class 0 again
+        assert dim1_classes[0] == 0 and dim1_classes[-1] == 1

@@ -1,0 +1,312 @@
+"""Unit and scenario tests for the fault-tolerant routing algorithm."""
+
+import pytest
+
+from repro.core import FaultTolerantRouting, MisroutePhase, RoutingError
+from repro.faults import FaultSet, validate_fault_pattern
+from repro.topology import Direction, Mesh, Torus
+
+
+def ft(network, fault_set):
+    scenario = validate_fault_pattern(network, fault_set, allow_blocking=True)
+    return FaultTolerantRouting.for_scenario(network, scenario), scenario
+
+
+def trace(router, src, dst):
+    """Hop-by-hop trace: list of (node, decision) plus the final path."""
+    state = router.initial_state(src, dst)
+    current = src
+    decisions = []
+    for _ in range(500):
+        decision = router.next_hop(state, current)
+        if decision.consume:
+            return decisions, state
+        decisions.append((current, decision))
+        current = router.commit_hop(state, current, decision)
+    raise AssertionError("trace did not terminate")
+
+
+class TestFaultFreeEqualsECube:
+    def test_no_faults_minimal_paths(self):
+        t = Torus(8, 2)
+        router, _ = ft(t, FaultSet())
+        for src, dst in [((0, 0), (5, 3)), ((7, 7), (0, 0)), ((2, 6), (2, 1))]:
+            path = router.route_path(src, dst)
+            assert len(path) - 1 == t.distance(src, dst)
+
+
+class TestTwoSidedMisroute:
+    """Messages blocked in a non-final dimension: two ring sides."""
+
+    @pytest.fixture()
+    def setup(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, nodes=[(3, 3), (4, 3), (3, 4), (4, 4)])
+        router, scenario = ft(t, fs)
+        return t, router, scenario
+
+    def test_path_shape(self, setup):
+        _t, router, _ = setup
+        # (1,3)->(5,3): tie resolves POS, blocked at (2,3)
+        path = router.route_path((1, 3), (5, 3))
+        assert path == [(1, 3), (2, 3), (2, 2), (3, 2), (4, 2), (5, 2), (5, 3)]
+
+    def test_avoids_faulty_nodes(self, setup):
+        _t, router, scenario = setup
+        path = router.route_path((1, 3), (5, 3))
+        assert not any(n in scenario.faults.node_faults for n in path)
+
+    def test_misroute_statistics_tracked(self, setup):
+        _t, router, _ = setup
+        decisions, state = trace(router, (1, 3), (5, 3))
+        assert state.misroute_hops >= 1
+        assert state.rings_visited == 1
+        misrouting = [d for _n, d in decisions if d.misrouting]
+        assert len(misrouting) == state.misroute_hops
+
+    def test_orientation_prefers_destination(self, setup):
+        _t, router, _ = setup
+        # destination above the fault -> go up (POS in dim 1)
+        path_up = router.route_path((1, 4), (5, 6))
+        assert (2, 5) in path_up
+        # destination below -> go down
+        path_down = router.route_path((1, 3), (5, 1))
+        assert (2, 2) in path_down
+
+    def test_dim0_classes_follow_pair(self, setup):
+        _t, router, _ = setup
+        decisions, _state = trace(router, (1, 3), (5, 3))
+        # no wraparound on this route: dim-0 hops and the misroute detour
+        # use c0 (M0 pre-wrap); the trailing dim-1 correction hop is taken
+        # as an M1 message on c2.
+        for _node, decision in decisions:
+            if decision.dim == 0 or decision.misrouting:
+                assert decision.vc_class == 0
+        assert decisions[-1][1].vc_class == 2  # final M1 hop
+
+    def test_blocked_message_with_wrap_uses_c1(self, setup):
+        t, router, _ = setup
+        # message wraps in dim0 before hitting the fault: (6,3)->(2,3)
+        # direction POS from 6: 6->7->0->..., wrap first, then blocked at
+        # the ring's low column.  All post-wrap hops use c1.
+        decisions, _ = trace(router, (5, 4), (1, 4))
+        # travels NEG from 5 to 1: 5,4 blocked immediately at ring hi col 5
+        classes = {d.vc_class for _n, d in decisions if d.dim == 0}
+        assert classes <= {0, 1}
+
+    def test_resume_direct_set_at_corner(self, setup):
+        _t, router, _ = setup
+        state = router.initial_state((1, 3), (5, 3))
+        current = (1, 3)
+        saw_resume = False
+        for _ in range(30):
+            decision = router.next_hop(state, current)
+            if state.resume_direct:
+                saw_resume = True
+                assert state.misroute is None
+            if decision.consume:
+                break
+            current = router.commit_hop(state, current, decision)
+        assert saw_resume
+
+
+class TestThreeSidedMisroute:
+    """Messages blocked in the final dimension: three ring sides, one
+    orientation."""
+
+    @pytest.fixture()
+    def setup(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, nodes=[(3, 3), (4, 3), (3, 4), (4, 4)])
+        router, scenario = ft(t, fs)
+        return t, router, scenario
+
+    def test_path_shape(self, setup):
+        _t, router, _ = setup
+        path = router.route_path((3, 1), (3, 5))
+        assert path == [
+            (3, 1), (3, 2), (4, 2), (5, 2), (5, 3), (5, 4), (5, 5), (4, 5), (3, 5),
+        ]
+
+    def test_phases_in_order(self, setup):
+        _t, router, _ = setup
+        state = router.initial_state((3, 1), (3, 5))
+        current = (3, 1)
+        phases = []
+        for _ in range(40):
+            decision = router.next_hop(state, current)
+            if state.misroute is not None:
+                phases.append(state.misroute.phase)
+            if decision.consume:
+                break
+            current = router.commit_hop(state, current, decision)
+        squeezed = [p for i, p in enumerate(phases) if i == 0 or phases[i - 1] != p]
+        assert squeezed == [MisroutePhase.OUT, MisroutePhase.ALONG, MisroutePhase.BACK]
+
+    def test_out_phase_always_positive_dim0(self, setup):
+        _t, router, _ = setup
+        decisions, _ = trace(router, (4, 1), (4, 5))
+        first_misroute = next(d for _n, d in decisions if d.misrouting)
+        assert first_misroute.dim == 0 and first_misroute.direction is Direction.POS
+
+    def test_down_travel_mirrors(self, setup):
+        _t, router, _ = setup
+        path = router.route_path((3, 5), (3, 2))
+        # blocked at (3,5) traveling NEG; out to column 5, down, back
+        assert (5, 5) in path and (5, 2) in path
+        assert path[-1] == (3, 2)
+
+    def test_m1_uses_c2_c3(self, setup):
+        _t, router, _ = setup
+        decisions, _ = trace(router, (3, 1), (3, 5))
+        assert all(d.vc_class in (2, 3) for _n, d in decisions)
+
+    def test_wrap_during_detour_switches_class(self, setup):
+        t = Torus(8, 2)
+        # fault near the dim-1 dateline so the ALONG phase crosses it
+        fs = FaultSet.of(t, nodes=[(3, 7), (4, 7)])
+        router, _ = ft(t, fs)
+        # (3,5)->(3,1): tie resolves POS; blocked at (3,6); the ALONG
+        # phase crosses the dim-1 dateline at column 5
+        decisions, state = trace(router, (3, 5), (3, 1))
+        classes = [d.vc_class for _n, d in decisions]
+        assert 2 in classes and 3 in classes  # switched mid-detour
+        assert state.wrapped
+
+
+class TestLinkFaults:
+    def test_dim0_link_fault_detour(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, links=[((2, 5), 0, Direction.POS)])
+        router, _ = ft(t, fs)
+        path = router.route_path((1, 5), (4, 5))
+        assert len(path) - 1 == 5  # 3 minimal + 2 detour hops
+        # detours around the faulty link via the six-node ring (row 6 here,
+        # the tie-breaking orientation)
+        assert (2, 6) in path and (3, 6) in path
+
+    def test_dim1_link_fault_three_sided(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, links=[((5, 2), 1, Direction.POS)])
+        router, _ = ft(t, fs)
+        path = router.route_path((5, 1), (5, 4))
+        assert path[0] == (5, 1) and path[-1] == (5, 4)
+        assert (6, 2) in path and (6, 3) in path  # around via column 6
+
+    def test_wraparound_link_fault(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, links=[((7, 4), 0, Direction.POS)])
+        router, _ = ft(t, fs)
+        path = router.route_path((6, 4), (1, 4))
+        assert path[0] == (6, 4) and path[-1] == (1, 4)
+
+
+class TestMeshRouting:
+    def test_two_and_three_sided(self):
+        m = Mesh(8, 2)
+        fs = FaultSet.of(m, nodes=[(3, 3), (3, 4)])
+        router, scenario = ft(m, fs)
+        p1 = router.route_path((1, 3), (6, 3))
+        p2 = router.route_path((3, 1), (3, 6))
+        for p in (p1, p2):
+            assert not any(n in scenario.faults.node_faults for n in p)
+
+    def test_mesh_classes_bounded(self):
+        m = Mesh(8, 2)
+        fs = FaultSet.of(m, nodes=[(4, 4)])
+        router, _ = ft(m, fs)
+        decisions, _ = trace(router, (2, 4), (6, 4))
+        assert all(d.vc_class in (0, 1) for _n, d in decisions)
+
+    def test_all_pairs_delivery(self):
+        m = Mesh(6, 2)
+        fs = FaultSet.of(m, nodes=[(2, 2), (3, 2)])
+        router, scenario = ft(m, fs)
+        healthy = [c for c in m.nodes() if c not in scenario.faults.node_faults]
+        for src in healthy:
+            for dst in healthy:
+                if src == dst:
+                    continue
+                path = router.route_path(src, dst)
+                assert path[-1] == dst
+
+
+class TestAllPairsTorus:
+    def test_block_fault_all_pairs(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, nodes=[(3, 3), (4, 3), (3, 4), (4, 4)])
+        router, scenario = ft(t, fs)
+        healthy = [c for c in t.nodes() if c not in scenario.faults.node_faults]
+        for src in healthy:
+            for dst in healthy:
+                if src == dst:
+                    continue
+                path = router.route_path(src, dst)
+                assert path[0] == src and path[-1] == dst
+                assert not any(n in scenario.faults.node_faults for n in path)
+
+    def test_multiple_regions(self):
+        t = Torus(10, 2)
+        fs = FaultSet.of(t, nodes=[(1, 1)], links=[((6, 6), 1, Direction.POS)])
+        router, scenario = ft(t, fs)
+        healthy = [c for c in t.nodes() if c not in scenario.faults.node_faults]
+        for src in healthy[::3]:
+            for dst in healthy[::3]:
+                if src == dst:
+                    continue
+                assert router.route_path(src, dst)[-1] == dst
+
+
+class Test3DRouting:
+    def test_cube_fault_all_types(self):
+        t = Torus(6, 3)
+        nodes = [(x, y, z) for x in (2, 3) for y in (2, 3) for z in (2, 3)]
+        router, scenario = ft(t, FaultSet(frozenset(nodes)))
+        # DIM0-blocked, DIM1-blocked and DIM2-blocked messages
+        cases = [
+            ((0, 2, 2), (5, 2, 2)),  # blocked in dim0
+            ((2, 0, 3), (2, 5, 3)),  # blocked in dim1
+            ((3, 3, 0), (3, 3, 5)),  # blocked in dim2 (three-sided)
+        ]
+        for src, dst in cases:
+            path = router.route_path(src, dst)
+            assert path[-1] == dst
+            assert not any(n in scenario.faults.node_faults for n in path)
+
+    def test_dim2_misroutes_in_dim0(self):
+        t = Torus(6, 3)
+        router, _ = ft(t, FaultSet(frozenset({(3, 3, 3)})))
+        decisions, _ = trace(router, (3, 3, 1), (3, 3, 4))
+        misroute_dims = {d.dim for _n, d in decisions if d.misrouting}
+        assert misroute_dims == {0, 2}
+        dim0_classes = {d.vc_class for _n, d in decisions if d.dim == 0}
+        assert dim0_classes <= {2, 3}  # Table 1, row 3
+
+
+class TestErrors:
+    def test_message_to_faulty_node_rejected(self):
+        t = Torus(8, 2)
+        router, _ = ft(t, FaultSet(frozenset({(3, 3)})))
+        with pytest.raises(ValueError):
+            router.initial_state((0, 0), (3, 3))
+
+    def test_commit_on_deliver_raises(self):
+        t = Torus(8, 2)
+        router, _ = ft(t, FaultSet())
+        state = router.initial_state((0, 0), (1, 0))
+        decision = router.next_hop(state, (1, 0) if False else (0, 0))
+        from repro.core import Decision
+
+        with pytest.raises(RoutingError):
+            router.commit_hop(state, (0, 0), Decision.deliver())
+
+    def test_idempotent_next_hop(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, nodes=[(3, 3), (4, 3), (3, 4), (4, 4)])
+        router, _ = ft(t, fs)
+        state = router.initial_state((2, 3), (5, 3))
+        first = router.next_hop(state, (2, 3))
+        second = router.next_hop(state, (2, 3))
+        third = router.next_hop(state, (2, 3))
+        assert first == second == third
+        assert first.misrouting

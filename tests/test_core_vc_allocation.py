@@ -1,0 +1,141 @@
+"""Unit tests mechanically reproducing Tables 1 and 2 of the paper."""
+
+import pytest
+
+from repro.core import (
+    class_pair,
+    is_three_sided,
+    misroute_dim_of,
+    num_classes,
+    plane_of,
+    vc_class,
+)
+
+
+class TestTable1_3DTorus:
+    """Table 1: planes and virtual channels in a 3D torus."""
+
+    def test_dim0_messages(self):
+        # c0 before a DIM0 wraparound, c1 after, in both plane dimensions
+        for traveling in (0, 1):
+            assert vc_class(3, 0, traveling, False, torus=True) == 0
+            assert vc_class(3, 0, traveling, True, torus=True) == 1
+
+    def test_dim1_messages(self):
+        for traveling in (1, 2):
+            assert vc_class(3, 1, traveling, False, torus=True) == 2
+            assert vc_class(3, 1, traveling, True, torus=True) == 3
+
+    def test_dim2_messages_in_dim2(self):
+        assert vc_class(3, 2, 2, False, torus=True) == 0
+        assert vc_class(3, 2, 2, True, torus=True) == 1
+
+    def test_dim2_messages_in_dim0_misroute(self):
+        # "c2 (c3) while traveling in DIM0 before (after) reserving a
+        # wraparound link in DIM2"
+        assert vc_class(3, 2, 0, False, torus=True) == 2
+        assert vc_class(3, 2, 0, True, torus=True) == 3
+
+    def test_planes(self):
+        assert set(plane_of(3, 0)) == {0, 1}
+        assert set(plane_of(3, 1)) == {1, 2}
+        assert set(plane_of(3, 2)) == {2, 0}
+
+
+class TestTable2_NDTorus:
+    """Table 2: the general nD allocation."""
+
+    def test_2d_even_case(self):
+        # n = 2 (even): M0 -> c0/c1, M1 -> c2/c3 in both travel dims
+        assert class_pair(2, 0, 0, torus=True) == (0, 1)
+        assert class_pair(2, 0, 1, torus=True) == (0, 1)
+        assert class_pair(2, 1, 1, torus=True) == (2, 3)
+        assert class_pair(2, 1, 0, torus=True) == (2, 3)
+
+    def test_alternating_pairs(self):
+        for dims in (4, 5, 6):
+            for msg_dim in range(dims - 1):
+                expected = (0, 1) if msg_dim % 2 == 0 else (2, 3)
+                assert class_pair(dims, msg_dim, msg_dim, torus=True) == expected
+
+    def test_last_dim_even_n(self):
+        # n even: M_{n-1} uses c2/c3 everywhere
+        assert class_pair(4, 3, 3, torus=True) == (2, 3)
+        assert class_pair(4, 3, 0, torus=True) == (2, 3)
+
+    def test_last_dim_odd_n(self):
+        # n odd: c0/c1 in DIM_{n-1}, c2/c3 in DIM_0
+        assert class_pair(5, 4, 4, torus=True) == (0, 1)
+        assert class_pair(5, 4, 0, torus=True) == (2, 3)
+
+    def test_four_classes_suffice(self):
+        for dims in range(2, 7):
+            for msg_dim in range(dims):
+                for traveling in (msg_dim, misroute_dim_of(dims, msg_dim)):
+                    for wrapped in (False, True):
+                        assert 0 <= vc_class(dims, msg_dim, traveling, wrapped, torus=True) < 4
+
+
+class TestMeshCollapse:
+    def test_two_classes_suffice(self):
+        for dims in range(2, 6):
+            for msg_dim in range(dims):
+                for traveling in (msg_dim, misroute_dim_of(dims, msg_dim)):
+                    assert 0 <= vc_class(dims, msg_dim, traveling, False, torus=False) < 2
+
+    def test_2d_mesh_classes(self):
+        assert vc_class(2, 0, 0, False, torus=False) == 0
+        assert vc_class(2, 0, 1, False, torus=False) == 0  # misroute keeps class
+        assert vc_class(2, 1, 1, False, torus=False) == 1
+        assert vc_class(2, 1, 0, False, torus=False) == 1
+
+    def test_wrap_flag_ignored_in_mesh(self):
+        assert vc_class(2, 0, 0, True, torus=False) == vc_class(2, 0, 0, False, torus=False)
+
+
+class TestStructuralHelpers:
+    def test_num_classes(self):
+        assert num_classes(torus=True) == 4
+        assert num_classes(torus=False) == 2
+
+    def test_misroute_dims(self):
+        assert misroute_dim_of(2, 0) == 1
+        assert misroute_dim_of(2, 1) == 0
+        assert misroute_dim_of(3, 2) == 0
+        assert misroute_dim_of(5, 3) == 4
+
+    def test_three_sided_only_last_dim(self):
+        assert not is_three_sided(3, 0)
+        assert not is_three_sided(3, 1)
+        assert is_three_sided(3, 2)
+        assert is_three_sided(2, 1)
+
+    def test_invalid_msg_dim(self):
+        with pytest.raises(ValueError):
+            class_pair(3, 3, 0, torus=True)
+
+    def test_one_dim_has_no_misroute(self):
+        with pytest.raises(ValueError):
+            misroute_dim_of(1, 0)
+
+
+class TestLemma1Disjointness:
+    """Message types sharing a physical channel use disjoint class pairs
+    (the heart of Lemma 1's first claim)."""
+
+    @pytest.mark.parametrize("dims", [2, 3, 4, 5])
+    def test_travelers_of_one_dim_use_disjoint_pairs(self, dims):
+        # Which message types travel in dimension d?  M_d itself, plus
+        # M_{d-1 mod n} misrouting (its misroute dim is d), plus (d == 0)
+        # the last dimension's messages misrouting in DIM0.
+        for d in range(dims):
+            users = [(d, d)]  # (msg_dim, traveling_dim)
+            prev = (d - 1) % dims
+            if misroute_dim_of(dims, prev) == d and prev != d:
+                users.append((prev, d))
+            pairs = [set(class_pair(dims, m, t, torus=True)) for m, t in users]
+            for i in range(len(pairs)):
+                for j in range(i + 1, len(pairs)):
+                    assert not (pairs[i] & pairs[j]), (
+                        f"dims={dims} dim={d}: types {users[i]} and {users[j]} collide"
+                    )

@@ -1,0 +1,120 @@
+"""Edge-size networks: odd radices, minimum radix, tall-thin meshes.
+
+These document behavior at the model's boundaries: the paper's networks
+are 16x16, but the library must degrade gracefully (clear errors, not
+wrong answers) on the degenerate cases."""
+
+import pytest
+
+from repro.core import FaultTolerantRouting
+from repro.faults import (
+    FaultSet,
+    NetworkDisconnectedError,
+    RingGeometryError,
+    validate_fault_pattern,
+)
+from repro.sim import SimulationConfig, Simulator
+from repro.topology import Mesh, Torus
+
+
+class TestOddRadix:
+    def test_odd_torus_routing_minimal(self):
+        t = Torus(7, 2)
+        router = FaultTolerantRouting(t)
+        for src, dst in [((0, 0), (3, 3)), ((6, 6), (2, 1)), ((5, 0), (1, 6))]:
+            path = router.route_path(src, dst)
+            assert len(path) - 1 == t.distance(src, dst)
+
+    def test_odd_torus_no_direction_ties(self):
+        # odd radix means no equidistant destinations: every pair has a
+        # strictly minimal direction
+        t = Torus(7, 2)
+        for a in range(7):
+            for b in range(7):
+                if a != b:
+                    forward = (b - a) % 7
+                    assert forward != 7 - forward
+
+    def test_odd_torus_with_fault_simulates(self):
+        t = Torus(7, 2)
+        fs = FaultSet.of(t, nodes=[(3, 3)])
+        config = SimulationConfig(
+            topology="torus", radix=7, dims=2, faults=fs, rate=0.01,
+            warmup_cycles=200, measure_cycles=1_000,
+        )
+        sim = Simulator(config)
+        result = sim.run()
+        sim.drain()
+        assert result.delivered > 0 and sim.in_flight == 0
+
+    def test_odd_mesh_all_pairs_with_fault(self):
+        m = Mesh(5, 2)
+        fs = FaultSet.of(m, nodes=[(2, 2)])
+        scenario = validate_fault_pattern(m, fs)
+        router = FaultTolerantRouting.for_scenario(m, scenario)
+        healthy = [c for c in m.nodes() if c != (2, 2)]
+        for src in healthy:
+            for dst in healthy:
+                if src != dst:
+                    assert router.route_path(src, dst)[-1] == dst
+
+
+class TestMinimumRadix:
+    def test_radix3_torus_fault_free(self):
+        t = Torus(3, 2)
+        router = FaultTolerantRouting(t)
+        nodes = list(t.nodes())
+        for src in nodes:
+            for dst in nodes:
+                if src != dst:
+                    assert router.route_path(src, dst)[-1] == dst
+
+    def test_radix3_fault_ring_would_wrap(self):
+        # a single fault's ring spans all 3 positions: rejected, since a
+        # self-wrapping ring cannot support the scheme
+        t = Torus(3, 2)
+        fs = FaultSet.of(t, nodes=[(1, 1)])
+        with pytest.raises((NetworkDisconnectedError, RingGeometryError)):
+            validate_fault_pattern(t, fs)
+
+    def test_radix4_single_fault_ok(self):
+        t = Torus(4, 2)
+        fs = FaultSet.of(t, nodes=[(1, 1)])
+        scenario = validate_fault_pattern(t, fs)
+        router = FaultTolerantRouting.for_scenario(t, scenario)
+        healthy = [c for c in t.nodes() if c != (1, 1)]
+        for src in healthy:
+            for dst in healthy:
+                if src != dst:
+                    assert router.route_path(src, dst)[-1] == dst
+
+    def test_radix2_torus_structure(self):
+        # radix-2 torus: both directions reach the same neighbor over the
+        # same (single) link; topology stays consistent
+        t = Torus(2, 2)
+        from repro.topology import Direction
+
+        assert t.neighbor((0, 0), 0, Direction.POS) == (1, 0)
+        assert t.neighbor((0, 0), 0, Direction.NEG) == (1, 0)
+        assert t.num_links() == 8  # counts per-dimension ring links
+
+
+class TestSmallSimulations:
+    def test_radix4_3d_simulates(self):
+        config = SimulationConfig(
+            topology="torus", radix=4, dims=3, rate=0.01,
+            warmup_cycles=200, measure_cycles=800,
+        )
+        sim = Simulator(config)
+        result = sim.run()
+        sim.drain()
+        assert result.delivered > 0
+
+    def test_odd_radix_bisection_defined(self):
+        config = SimulationConfig(
+            topology="mesh", radix=5, dims=2, rate=0.02,
+            warmup_cycles=200, measure_cycles=800,
+        )
+        result = Simulator(config).run()
+        assert result.bisection_bandwidth == 10
+        assert result.bisection_utilization > 0

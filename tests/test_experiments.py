@@ -1,0 +1,132 @@
+"""Tests for the experiment harnesses and CLI (at a tiny custom scale so
+they run in seconds)."""
+
+import pytest
+
+import repro.experiments.figures as figures_module
+from repro.experiments import (
+    PAPER,
+    QUICK,
+    get_scale,
+    lemma1_evidence,
+    table1,
+    table2,
+)
+from repro.experiments.cli import build_parser, main
+from repro.experiments.settings import ExperimentScale
+
+TINY = ExperimentScale(
+    name="tiny",
+    radix=6,
+    warmup_cycles=200,
+    measure_cycles=600,
+    rate_grids={
+        0: [0.01, 0.03],
+        1: [0.01, 0.02],
+        5: [0.008, 0.016],
+    },
+)
+
+
+@pytest.fixture()
+def tiny_scale(monkeypatch):
+    monkeypatch.setattr(figures_module, "get_scale", lambda name="": TINY)
+    return TINY
+
+
+class TestScales:
+    def test_named_scales(self):
+        assert get_scale("quick") is QUICK
+        assert get_scale("paper") is PAPER
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale() is PAPER
+
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale() is QUICK
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+    def test_grids_cover_all_scenarios(self):
+        for scale in (QUICK, PAPER):
+            assert set(scale.rate_grids) == {0, 1, 5}
+
+
+class TestFigureHarnesses:
+    def test_fig8_structure(self, tiny_scale):
+        result = figures_module.fig8()
+        assert set(result.sweeps) == {"0% faults", "1% faults", "5% faults"}
+        assert result.peak_utilization("0% faults") > 0
+        text = result.render()
+        assert "fig8" in text and "rho_b" in text and "peak rho_b" in text
+
+    def test_fig9_structure(self, tiny_scale):
+        result = figures_module.fig9()
+        assert result.name == "fig9"
+        assert "mesh" in result.title
+
+    def test_fig10_structure(self, tiny_scale):
+        result = figures_module.fig10()
+        assert set(result.sweeps) == {"pipelined", "unpipelined"}
+        assert any("1.3x" in note or "clock" in note for note in result.notes)
+
+    def test_throughput_summary(self, tiny_scale):
+        text = figures_module.throughput_summary()
+        assert "torus" in text and "mesh" in text
+
+
+class TestTableHarnesses:
+    def test_table1_text(self):
+        text = table1()
+        assert "DIM0+, DIM0-" in text
+        assert "DIM2-DIM0" in text
+        assert "c2" in text
+
+    def test_table2_text(self):
+        text = table2(max_dims=4)
+        assert "A(3,0)" in text
+        assert "n=4" in text
+
+    def test_lemma1_evidence(self):
+        text = lemma1_evidence(radix=6)
+        assert "acyclic" in text
+        assert text.count("acyclic") >= 5
+
+
+class TestExt3d:
+    def test_ext3d_runs_small(self, monkeypatch):
+        import repro.experiments.extension3d as ext_module
+
+        monkeypatch.setattr(ext_module, "get_scale", lambda name="": TINY)
+        text = ext_module.ext3d()
+        assert "cube fault" in text and "peak rho_b" in text
+
+
+class TestCli:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig8", "--scale", "quick"])
+        assert args.experiment == "fig8" and args.scale == "quick"
+
+    def test_main_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+
+    def test_main_writes_out_file(self, tmp_path, capsys, tiny_scale, monkeypatch):
+        import repro.experiments.cli as cli_module
+
+        monkeypatch.setitem(
+            cli_module._COMMANDS, "fig8", lambda scale: figures_module.fig8().render()
+        )
+        out_file = tmp_path / "report.txt"
+        assert main(["fig8", "--out", str(out_file)]) == 0
+        assert "fig8" in out_file.read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])

@@ -1,0 +1,120 @@
+"""Unit tests for random fault-pattern generation and validation."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    PAPER_FAULT_COUNTS,
+    FaultSet,
+    NonConvexFaultError,
+    RingGeometryError,
+    generate_fault_pattern,
+    paper_fault_scenario,
+    scaled_fault_counts,
+    validate_fault_pattern,
+)
+from repro.topology import Direction, Mesh, Torus
+
+
+class TestValidation:
+    def test_valid_pattern(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, nodes=[(2, 2)], links=[((5, 6), 1, Direction.POS)])
+        scenario = validate_fault_pattern(t, fs)
+        assert scenario.num_regions == 2
+
+    def test_unblocked_pattern_rejected(self):
+        t = Torus(8, 2)
+        fs = FaultSet(frozenset({(2, 2), (3, 3)}))
+        with pytest.raises(NonConvexFaultError):
+            validate_fault_pattern(t, fs)
+
+    def test_allow_blocking_expands(self):
+        t = Torus(8, 2)
+        fs = FaultSet(frozenset({(2, 2), (3, 3)}))
+        scenario = validate_fault_pattern(t, fs, allow_blocking=True)
+        assert len(scenario.faults.node_faults) == 4
+
+    def test_overlapping_rings_rejected(self):
+        t = Torus(8, 2)
+        fs = FaultSet(frozenset({(2, 2), (3, 4)}))
+        with pytest.raises(RingGeometryError):
+            validate_fault_pattern(t, fs)
+
+    def test_link_on_ring_rejected(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, nodes=[(2, 2)], links=[((1, 1), 0, Direction.POS)])
+        with pytest.raises(RingGeometryError):
+            validate_fault_pattern(t, fs)
+
+    def test_fault_free(self):
+        scenario = validate_fault_pattern(Torus(8, 2), FaultSet())
+        assert scenario.num_regions == 0
+        assert scenario.link_fault_percent(Torus(8, 2)) == 0.0
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        t = Torus(16, 2)
+        a = generate_fault_pattern(t, 4, 10, random.Random(3))
+        b = generate_fault_pattern(t, 4, 10, random.Random(3))
+        assert a.faults == b.faults
+
+    def test_different_seeds_differ(self):
+        t = Torus(16, 2)
+        a = generate_fault_pattern(t, 4, 10, random.Random(3))
+        b = generate_fault_pattern(t, 4, 10, random.Random(4))
+        assert a.faults != b.faults
+
+    def test_counts_respected(self):
+        t = Torus(16, 2)
+        scenario = generate_fault_pattern(t, 2, 3, random.Random(0))
+        assert len(scenario.faults.node_faults) == 2
+        assert len(scenario.faults.link_faults) == 3
+
+    def test_rings_are_disjoint_and_healthy(self):
+        t = Torus(16, 2)
+        scenario = generate_fault_pattern(t, 4, 10, random.Random(1))
+        assert not scenario.ring_index.overlapping_ring_pairs()
+        assert scenario.ring_index.rings_healthy(scenario.faults)
+
+    def test_mesh_generation_avoids_boundaries(self):
+        m = Mesh(16, 2)
+        scenario = generate_fault_pattern(m, 4, 10, random.Random(2))
+        for coord in scenario.faults.node_faults:
+            assert 0 < coord[0] < 15 and 0 < coord[1] < 15
+
+
+class TestPaperScenarios:
+    def test_counts_table(self):
+        assert PAPER_FAULT_COUNTS[1] == (1, 1)
+        assert PAPER_FAULT_COUNTS[5] == (4, 10)
+
+    def test_percentages_on_16x16(self):
+        t = Torus(16, 2)
+        one = paper_fault_scenario(t, 1, random.Random(0))
+        five = paper_fault_scenario(t, 5, random.Random(0))
+        assert 0.8 < one.link_fault_percent(t) < 1.3
+        assert 4.0 < five.link_fault_percent(t) < 6.0
+
+    def test_zero_percent(self):
+        t = Torus(16, 2)
+        scenario = paper_fault_scenario(t, 0, random.Random(0))
+        assert scenario.faults.empty
+
+    def test_unknown_percent(self):
+        with pytest.raises(ValueError):
+            paper_fault_scenario(Torus(16, 2), 3, random.Random(0))
+
+    def test_scaled_counts_smaller_network(self):
+        t = Torus(8, 2)
+        nodes, links = scaled_fault_counts(t, 5)
+        fs = paper_fault_scenario(t, 5, random.Random(0))
+        pct = fs.link_fault_percent(t)
+        assert 3.0 < pct < 7.5
+        assert nodes >= 0 and links >= 0
+
+    def test_scaled_counts_16x16_match_paper(self):
+        assert scaled_fault_counts(Torus(16, 2), 5) == (4, 10)
+        assert scaled_fault_counts(Mesh(16, 2), 1) == (1, 1)

@@ -1,0 +1,79 @@
+"""Unit tests for fault sets and the local fault view."""
+
+import pytest
+
+from repro.faults import FaultSet, LocalFaultView
+from repro.topology import BiLink, Direction, Mesh, Torus
+
+
+class TestFaultSet:
+    def test_empty(self):
+        assert FaultSet().empty
+        assert not FaultSet(node_faults=frozenset({(0, 0)})).empty
+
+    def test_of_constructor_links(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, links=[((1, 1), 0, Direction.POS)])
+        assert BiLink((1, 1), (2, 1), 0) in fs.link_faults
+
+    def test_of_constructor_boundary_link_raises(self):
+        m = Mesh(8, 2)
+        with pytest.raises(ValueError):
+            FaultSet.of(m, links=[((7, 0), 0, Direction.POS)])
+
+    def test_node_fault_implies_incident_links(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, nodes=[(3, 3)])
+        links = fs.all_faulty_links(t)
+        assert len(links) == 4
+        assert BiLink((2, 3), (3, 3), 0) in links
+
+    def test_faulty_link_fraction_paper_percentages(self):
+        t = Torus(16, 2)
+        one_pct = FaultSet.of(t, nodes=[(3, 3)], links=[((10, 10), 0, Direction.POS)])
+        assert 0.009 < one_pct.faulty_link_fraction(t) < 0.011
+
+    def test_is_hop_faulty_cases(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, nodes=[(3, 3)], links=[((5, 5), 1, Direction.POS)])
+        assert fs.is_hop_faulty(t, (2, 3), 0, Direction.POS)  # into faulty node
+        assert fs.is_hop_faulty(t, (3, 3), 0, Direction.POS)  # out of faulty node
+        assert fs.is_hop_faulty(t, (5, 5), 1, Direction.POS)  # faulty link
+        assert fs.is_hop_faulty(t, (5, 6), 1, Direction.NEG)  # same link, other way
+        assert not fs.is_hop_faulty(t, (0, 0), 0, Direction.POS)
+
+    def test_mesh_boundary_hop_is_faulty(self):
+        m = Mesh(8, 2)
+        assert FaultSet().is_hop_faulty(m, (7, 0), 0, Direction.POS)
+
+    def test_merge_and_with_nodes(self):
+        a = FaultSet(node_faults=frozenset({(0, 0)}))
+        b = FaultSet(node_faults=frozenset({(1, 1)}))
+        merged = a.merged_with(b)
+        assert merged.node_faults == {(0, 0), (1, 1)}
+        assert a.with_nodes([(2, 2)]).node_faults == {(0, 0), (2, 2)}
+
+
+class TestLocalFaultView:
+    def test_hop_blocked_matches_fault_set(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, nodes=[(3, 3)])
+        view = LocalFaultView(t, fs)
+        assert view.hop_blocked((2, 3), 0, Direction.POS)
+        assert not view.hop_blocked((0, 0), 0, Direction.POS)
+
+    def test_mesh_boundary_blocked(self):
+        m = Mesh(4, 2)
+        view = LocalFaultView(m, FaultSet())
+        assert view.hop_blocked((3, 0), 0, Direction.POS)
+
+    def test_node_usable(self):
+        t = Torus(8, 2)
+        view = LocalFaultView(t, FaultSet.of(t, nodes=[(3, 3)]))
+        assert not view.node_usable((3, 3))
+        assert view.node_usable((3, 4))
+
+    def test_blocking_fault_target(self):
+        t = Torus(8, 2)
+        view = LocalFaultView(t, FaultSet())
+        assert view.blocking_fault_target((7, 0), 0, Direction.POS) == (0, 0)

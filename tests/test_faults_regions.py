@@ -1,0 +1,193 @@
+"""Unit tests for the blocking rule, doubled intervals and region
+extraction."""
+
+import pytest
+
+from repro.faults import (
+    DoubledInterval,
+    FaultSet,
+    NetworkDisconnectedError,
+    NonConvexFaultError,
+    apply_block_fault_rule,
+    extract_fault_regions,
+    healthy_network_connected,
+    link_fault_region,
+    node_fault_region,
+)
+from repro.topology import BiLink, Direction, Mesh, Torus
+
+
+class TestDoubledInterval:
+    def test_contains_plain(self):
+        iv = DoubledInterval(4, 3, 0)
+        assert iv.contains(4) and iv.contains(6)
+        assert not iv.contains(3) and not iv.contains(7)
+
+    def test_contains_wrapping(self):
+        iv = DoubledInterval(14, 4, 16)  # doubled ring of a radix-8 torus
+        assert iv.contains(14) and iv.contains(15) and iv.contains(0) and iv.contains(1)
+        assert not iv.contains(2)
+
+    def test_end(self):
+        assert DoubledInterval(4, 3, 0).end == 6
+        assert DoubledInterval(14, 4, 16).end == 1
+
+    def test_expanded(self):
+        iv = DoubledInterval(4, 3, 16).expanded(2)
+        assert iv.start == 2 and iv.length == 7
+
+    def test_expanded_wraps(self):
+        iv = DoubledInterval(0, 1, 16).expanded(2)
+        assert iv.start == 14 and iv.contains(0) and iv.contains(2)
+
+    def test_expansion_covering_ring_raises(self):
+        with pytest.raises(NetworkDisconnectedError):
+            DoubledInterval(0, 13, 16).expanded(2)
+
+    def test_node_positions(self):
+        assert DoubledInterval(4, 5, 0).node_positions() == [2, 3, 4]
+        assert DoubledInterval(5, 1, 0).node_positions() == []  # a link
+        assert DoubledInterval(14, 4, 16).node_positions() == [7, 0]
+
+
+class TestBlockingRule:
+    def test_isolated_faults_unchanged(self):
+        t = Torus(8, 2)
+        faults = frozenset({(1, 1), (5, 5)})
+        assert apply_block_fault_rule(t, faults) == faults
+
+    def test_l_shape_fills_to_square(self):
+        t = Torus(8, 2)
+        blocked = apply_block_fault_rule(t, frozenset({(2, 2), (3, 2), (2, 3)}))
+        assert blocked == {(2, 2), (3, 2), (2, 3), (3, 3)}
+
+    def test_diagonal_fills(self):
+        t = Torus(8, 2)
+        blocked = apply_block_fault_rule(t, frozenset({(2, 2), (3, 3)}))
+        assert blocked == {(2, 2), (3, 2), (2, 3), (3, 3)}
+
+    def test_gap_of_one_fills(self):
+        t = Torus(8, 2)
+        blocked = apply_block_fault_rule(t, frozenset({(2, 2), (4, 2)}))
+        assert (3, 2) in blocked and len(blocked) == 3
+
+    def test_empty(self):
+        assert apply_block_fault_rule(Torus(8, 2), frozenset()) == frozenset()
+
+    def test_mesh_corner_pair(self):
+        m = Mesh(8, 2)
+        blocked = apply_block_fault_rule(m, frozenset({(0, 0), (1, 1)}))
+        assert blocked == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+
+class TestNodeFaultRegion:
+    def test_rectangle(self):
+        t = Torus(8, 2)
+        region = node_fault_region(t, [(3, 3), (4, 3), (3, 4), (4, 4)])
+        assert region.node_extent(0) == [3, 4]
+        assert region.node_extent(1) == [3, 4]
+        assert not region.is_link_region()
+
+    def test_single_node(self):
+        t = Torus(8, 2)
+        region = node_fault_region(t, [(5, 2)])
+        assert region.contains_node((5, 2))
+        assert not region.contains_node((5, 3))
+
+    def test_wrapping_rectangle(self):
+        t = Torus(8, 2)
+        region = node_fault_region(t, [(7, 2), (0, 2)])
+        assert region.node_extent(0) == [7, 0]
+        assert region.contains_node((7, 2)) and region.contains_node((0, 2))
+        assert not region.contains_node((1, 2))
+
+    def test_non_rectangular_raises(self):
+        t = Torus(8, 2)
+        with pytest.raises(NonConvexFaultError):
+            node_fault_region(t, [(3, 3), (4, 4)])
+
+    def test_full_ring_raises(self):
+        t = Torus(4, 2)
+        with pytest.raises(NetworkDisconnectedError):
+            node_fault_region(t, [(0, 1), (1, 1), (2, 1), (3, 1)])
+
+    def test_faulty_nodes_roundtrip(self):
+        t = Torus(8, 2)
+        nodes = [(3, 3), (4, 3), (3, 4), (4, 4)]
+        region = node_fault_region(t, nodes)
+        assert sorted(region.faulty_nodes(t)) == sorted(nodes)
+
+    def test_3d_block(self):
+        t = Torus(6, 3)
+        nodes = [(x, y, z) for x in (2, 3) for y in (2, 3) for z in (2, 3)]
+        region = node_fault_region(t, nodes)
+        assert len(region.faulty_nodes(t)) == 8
+
+
+class TestLinkFaultRegion:
+    def test_dim0_link(self):
+        t = Torus(8, 2)
+        region = link_fault_region(t, BiLink((2, 5), (3, 5), 0))
+        assert region.is_link_region()
+        assert region.node_extent(0) == []  # no node extent in the link dim
+        assert region.node_extent(1) == [5]
+
+    def test_wraparound_link(self):
+        t = Torus(8, 2)
+        region = link_fault_region(t, BiLink((0, 5), (7, 5), 0))
+        assert region.is_link_region()
+        assert region.intervals[0].start == 15  # doubled position of 7-0 link
+
+    def test_contains_doubled(self):
+        t = Torus(8, 2)
+        region = link_fault_region(t, BiLink((2, 5), (3, 5), 0))
+        assert region.contains_doubled((5, 10))
+        assert not region.contains_doubled((4, 10))  # node (2,5) not in region
+
+
+class TestExtractRegions:
+    def test_mixture(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(
+            t, nodes=[(1, 1)], links=[((5, 5), 0, Direction.POS)]
+        )
+        blocked, regions = extract_fault_regions(t, fs)
+        assert len(regions) == 2
+        assert sum(r.is_link_region() for r in regions) == 1
+
+    def test_link_incident_on_faulty_node_absorbed(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, nodes=[(1, 1)], links=[((1, 1), 0, Direction.POS)])
+        _blocked, regions = extract_fault_regions(t, fs)
+        assert len(regions) == 1
+
+    def test_blocking_expands(self):
+        t = Torus(8, 2)
+        fs = FaultSet(node_faults=frozenset({(2, 2), (3, 3)}))
+        blocked, regions = extract_fault_regions(t, fs)
+        assert len(blocked.node_faults) == 4
+        assert len(regions) == 1
+
+    def test_block_false_raises_on_nonconvex(self):
+        t = Torus(8, 2)
+        # a connected L-shaped component is not a filled box
+        fs = FaultSet(node_faults=frozenset({(2, 2), (2, 3), (3, 3)}))
+        with pytest.raises(NonConvexFaultError):
+            extract_fault_regions(t, fs, block=False)
+
+
+class TestConnectivity:
+    def test_connected_with_small_fault(self):
+        t = Torus(8, 2)
+        fs = FaultSet.of(t, nodes=[(1, 1)])
+        assert healthy_network_connected(t, fs)
+
+    def test_mesh_cut_disconnects(self):
+        m = Mesh(4, 2)
+        fs = FaultSet(node_faults=frozenset({(1, 0), (1, 1), (1, 2), (1, 3)}))
+        assert not healthy_network_connected(m, fs)
+
+    def test_torus_survives_full_column_cut(self):
+        t = Torus(4, 2)
+        fs = FaultSet(node_faults=frozenset({(1, 0), (1, 1), (1, 2), (1, 3)}))
+        assert healthy_network_connected(t, fs)

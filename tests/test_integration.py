@@ -1,0 +1,150 @@
+"""End-to-end integration tests: whole simulations, cross-model checks,
+and the paper's qualitative performance claims at small scale."""
+
+import pytest
+
+from repro.router import UNPIPELINED
+from repro.sim import SimulationConfig, Simulator, sweep_rates
+
+
+def config(**kwargs):
+    defaults = dict(
+        topology="torus",
+        radix=8,
+        dims=2,
+        rate=0.015,
+        warmup_cycles=400,
+        measure_cycles=2000,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def torus_results():
+    """One moderate-load run per fault scenario, shared by several tests."""
+    return {
+        pct: Simulator(config(fault_percent=pct)).run() for pct in (0, 1, 5)
+    }
+
+
+class TestFaultScenarioOrdering(object):
+    def test_fault_free_has_highest_utilization(self, torus_results):
+        assert (
+            torus_results[0].bisection_utilization
+            > torus_results[1].bisection_utilization
+            >= torus_results[5].bisection_utilization * 0.9
+        )
+
+    def test_first_fault_causes_the_big_drop(self, torus_results):
+        """'The first fault causes substantial performance degradation.
+        Additional faults cause only a little performance degradation.'"""
+        drop_first = (
+            torus_results[0].bisection_utilization - torus_results[1].bisection_utilization
+        )
+        drop_rest = (
+            torus_results[1].bisection_utilization - torus_results[5].bisection_utilization
+        )
+        assert drop_first > drop_rest
+
+    def test_latency_orders_with_faults(self, torus_results):
+        assert torus_results[0].avg_latency < torus_results[5].avg_latency
+
+    def test_misrouting_only_with_faults(self, torus_results):
+        assert torus_results[0].misrouted_messages == 0
+        assert torus_results[1].misrouted_messages > 0
+        assert torus_results[5].misrouted_messages > torus_results[1].misrouted_messages
+
+
+class TestRouterOrganizations:
+    def test_pdr_performance_similar_to_crossbar(self):
+        """The paper's headline: FT-PDRs perform similarly to crossbar
+        based routers."""
+        pdr = Simulator(config(fault_percent=1)).run()
+        xbar = Simulator(config(fault_percent=1, router_model="crossbar")).run()
+        assert pdr.bisection_utilization > 0.6 * xbar.bisection_utilization
+        assert pdr.avg_latency < 2.0 * xbar.avg_latency
+
+    def test_unpipelined_lower_latency_same_clock(self):
+        pipe = Simulator(config(topology="mesh", rate=0.01)).run()
+        unpipe = Simulator(config(topology="mesh", rate=0.01, timing=UNPIPELINED)).run()
+        assert unpipe.avg_latency < pipe.avg_latency
+        assert unpipe.bisection_utilization >= pipe.bisection_utilization * 0.95
+
+    def test_baseline_pdr_runs_fault_free(self):
+        result = Simulator(config(fault_tolerant=False, rate=0.01)).run()
+        assert result.delivered > 0 and result.misrouted_messages == 0
+
+
+class TestSweeps:
+    def test_latency_monotone_through_saturation(self):
+        results = sweep_rates(config(rate=0.0), [0.004, 0.012, 0.03])
+        latencies = [r.avg_latency for r in results]
+        assert latencies[0] < latencies[-1]
+        assert results[-1].saturated or results[-1].final_source_queue > 0
+
+    def test_throughput_saturates(self):
+        results = sweep_rates(config(rate=0.0), [0.004, 0.03, 0.05])
+        thr = [r.throughput_flits_per_cycle for r in results]
+        # beyond saturation throughput stops growing proportionally
+        assert thr[2] < thr[1] * 1.7
+
+    def test_sweep_reuses_network(self):
+        results = sweep_rates(config(rate=0.0, fault_percent=1), [0.004, 0.008])
+        assert results[0].fault_percent == results[1].fault_percent == 1
+
+
+class TestTrafficPatterns:
+    @pytest.mark.parametrize("pattern", ["transpose", "bit-reversal", "hotspot"])
+    def test_alternative_patterns_run_clean(self, pattern):
+        result = Simulator(config(traffic=pattern, rate=0.008, measure_cycles=1200)).run()
+        assert result.delivered > 0
+
+    def test_faulty_network_with_permutation_traffic(self):
+        result = Simulator(
+            config(traffic="transpose", fault_percent=1, rate=0.008, measure_cycles=1200)
+        ).run()
+        assert result.delivered > 0
+
+
+class Test3DIntegration:
+    def test_3d_torus_with_fault_runs_and_drains(self):
+        from repro.faults import FaultSet
+        from repro.topology import Torus
+
+        t3 = Torus(4, 3)
+        fs = FaultSet.of(t3, nodes=[(2, 2, 2)])
+        sim = Simulator(
+            SimulationConfig(
+                topology="torus", radix=4, dims=3, faults=fs, rate=0.01,
+                warmup_cycles=200, measure_cycles=1200,
+            )
+        )
+        result = sim.run()
+        sim.drain()
+        assert result.misrouted_messages > 0
+        assert sim.in_flight == 0
+
+    def test_3d_crossbar_matches_structure(self):
+        sim = Simulator(
+            SimulationConfig(
+                topology="torus", radix=4, dims=3, router_model="crossbar",
+                rate=0.01, warmup_cycles=200, measure_cycles=800,
+            )
+        )
+        assert sim.run().delivered > 0
+
+
+class TestMeshScenarios:
+    def test_mesh_fault_scenarios_run_and_drain(self):
+        for pct in (0, 1, 5):
+            sim = Simulator(config(topology="mesh", fault_percent=pct, measure_cycles=1500))
+            result = sim.run()
+            sim.drain()
+            assert sim.in_flight == 0
+            assert result.delivered > 0
+
+    def test_mesh_two_vcs_only(self):
+        sim = Simulator(config(topology="mesh"))
+        assert sim.net.num_classes == 2

@@ -1,0 +1,117 @@
+"""Small-surface tests: public API integrity, reprs, error paths and
+utility corners not exercised elsewhere."""
+
+import pytest
+
+import repro
+from repro.faults import DoubledInterval
+from repro.core import MessageRoute, MisroutePhase
+from repro.router.messages import Message
+from repro.sim.deadlock import stuck_worm_report
+from repro.topology import Torus
+
+
+class TestPublicApi:
+    def test_all_symbols_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.core
+        import repro.experiments
+        import repro.faults
+        import repro.router
+        import repro.sim
+        import repro.topology
+
+        for module in (
+            repro.analysis, repro.core, repro.experiments, repro.faults,
+            repro.router, repro.sim, repro.topology,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (module.__name__, name)
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestMessageAccounting:
+    def _message(self):
+        t = Torus(4, 2)
+        route = MessageRoute(src=(0, 0), dst=(1, 0))
+        return Message(7, (0, 0), (1, 0), 20, route, generated_cycle=5, is_bisection=False)
+
+    def test_latency_before_consumption_raises(self):
+        with pytest.raises(ValueError):
+            self._message().latency
+
+    def test_queueing_before_injection_raises(self):
+        with pytest.raises(ValueError):
+            self._message().queueing_delay
+
+    def test_lifecycle(self):
+        message = self._message()
+        message.injected_cycle = 8
+        message.consumed_cycle = 42
+        assert message.queueing_delay == 3
+        assert message.latency == 34
+
+    def test_repr(self):
+        assert "#7" in repr(self._message())
+
+
+class TestMisrouteStateLabel:
+    def test_message_type_label(self):
+        from repro.faults import FaultSet, validate_fault_pattern
+        from repro.core import FaultTolerantRouting
+        from repro.topology import Direction
+
+        t = Torus(8, 2)
+        scenario = validate_fault_pattern(t, FaultSet(frozenset({(4, 4)})))
+        router = FaultTolerantRouting.for_scenario(t, scenario)
+        state = router.initial_state((2, 4), (6, 4))
+        router.next_hop(state, (3, 4))  # enters misroute
+        assert state.misroute is not None
+        assert state.misroute.message_type == "DIM0+"
+
+
+class TestDoubledIntervalCorners:
+    def test_wraps_property(self):
+        assert DoubledInterval(14, 4, 16).wraps
+        assert not DoubledInterval(2, 4, 16).wraps
+        assert not DoubledInterval(2, 4, 0).wraps
+
+
+class TestDeadlockReport:
+    def test_report_limits_output(self):
+        from repro.sim import SimulationConfig, Simulator
+
+        sim = Simulator(
+            SimulationConfig(topology="torus", radix=8, dims=2, rate=0.05,
+                             warmup_cycles=0, measure_cycles=10)
+        )
+        for _ in range(300):
+            sim.step()
+        report = stuck_worm_report(sim.net.channels, limit=5)
+        assert report.count("msg#") <= 6  # 5 entries + possible summary line
+
+    def test_report_empty_network(self):
+        from repro.sim import SimulationConfig, Simulator
+
+        sim = Simulator(
+            SimulationConfig(topology="torus", radix=4, dims=2,
+                             warmup_cycles=0, measure_cycles=1)
+        )
+        assert "no busy" in stuck_worm_report(sim.net.channels)
+
+
+class TestNetworkDescribe:
+    def test_describe_fields(self):
+        from repro.sim import SimulationConfig, SimNetwork
+
+        net = SimNetwork(SimulationConfig(topology="mesh", radix=8, dims=2))
+        text = net.describe()
+        assert "mesh 8^2" in text
+        assert "2 VCs" in text
+        assert "bisection 16" in text

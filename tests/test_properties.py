@@ -1,0 +1,281 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These mechanize the paper's claims over randomized inputs:
+
+* the blocking rule always yields convex (box) components (Section 3);
+* fault rings enclose their regions with healthy nodes;
+* fault-tolerant routing delivers every message, with bounded detours
+  (Lemma 2), for random fault patterns and random endpoints;
+* per-type virtual channel usage on shared internode channels is
+  pairwise disjoint (Lemma 1's first claim).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import FaultTolerantRouting, ecube_path
+from repro.faults import (
+    FaultGenerationError,
+    FaultSet,
+    apply_block_fault_rule,
+    extract_fault_regions,
+    generate_fault_pattern,
+    node_fault_region,
+    validate_fault_pattern,
+)
+from repro.topology import Mesh, Torus, coord_to_id, id_to_coord
+
+RADIX = 8
+TORUS = Torus(RADIX, 2)
+MESH = Mesh(RADIX, 2)
+
+coords = st.tuples(st.integers(0, RADIX - 1), st.integers(0, RADIX - 1))
+fault_patterns = st.sets(coords, min_size=1, max_size=5)
+
+
+def scenario_for(network, seed, percent=5):
+    try:
+        return generate_fault_pattern(
+            network,
+            *(1, 2) if percent == 5 else (0, 1),
+            random.Random(seed),
+            max_tries=2000,
+        )
+    except FaultGenerationError:
+        return None
+
+
+class TestCoordinateProperties:
+    @given(st.integers(0, RADIX**2 - 1))
+    def test_id_roundtrip(self, node_id):
+        assert coord_to_id(id_to_coord(node_id, RADIX, 2), RADIX) == node_id
+
+    @given(coords, coords)
+    def test_distance_symmetric(self, a, b):
+        assert TORUS.distance(a, b) == TORUS.distance(b, a)
+        assert MESH.distance(a, b) == MESH.distance(b, a)
+
+    @given(coords, coords)
+    def test_torus_distance_at_most_mesh(self, a, b):
+        assert TORUS.distance(a, b) <= MESH.distance(a, b)
+
+    @given(coords, coords)
+    def test_triangle_inequality(self, a, b):
+        c = (0, 0)
+        assert TORUS.distance(a, b) <= TORUS.distance(a, c) + TORUS.distance(c, b)
+
+
+class TestBlockingRuleProperties:
+    @given(fault_patterns)
+    @settings(max_examples=60, deadline=None)
+    def test_components_become_boxes(self, pattern):
+        blocked = apply_block_fault_rule(TORUS, frozenset(pattern))
+        # every connected component must be a filled box (or the blocking
+        # expansion disconnected the ring, in which case extraction raises
+        # the dedicated errors, never a generic one)
+        from repro.faults import NetworkDisconnectedError, NonConvexFaultError
+
+        try:
+            _b, regions = extract_fault_regions(TORUS, FaultSet(blocked), block=False)
+        except (NetworkDisconnectedError, NonConvexFaultError):
+            return
+        recovered = set()
+        for region in regions:
+            recovered.update(region.faulty_nodes(TORUS))
+        assert recovered == set(blocked)
+
+    @given(fault_patterns)
+    @settings(max_examples=60, deadline=None)
+    def test_blocking_monotone_and_idempotent(self, pattern):
+        once = apply_block_fault_rule(TORUS, frozenset(pattern))
+        assert set(pattern) <= once
+        assert apply_block_fault_rule(TORUS, once) == once
+
+
+class TestRingProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_rings_enclose_and_are_healthy(self, seed):
+        scenario = scenario_for(TORUS, seed)
+        if scenario is None:
+            return
+        for ring in scenario.ring_index.rings:
+            nodes = ring.perimeter_nodes()
+            assert all(node not in scenario.faults.node_faults for node in nodes)
+            region = scenario.ring_index.regions[ring.region_index]
+            for node in nodes:
+                assert not region.contains_node(node)
+
+
+class TestRoutingProperties:
+    @given(st.integers(0, 10_000), st.data())
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_delivery_with_bounded_detour_torus(self, seed, data):
+        scenario = scenario_for(TORUS, seed)
+        if scenario is None:
+            return
+        router = FaultTolerantRouting.for_scenario(TORUS, scenario)
+        healthy = [c for c in TORUS.nodes() if c not in scenario.faults.node_faults]
+        src = data.draw(st.sampled_from(healthy))
+        dst = data.draw(st.sampled_from(healthy))
+        if src == dst:
+            return
+        path = router.route_path(src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert all(node not in scenario.faults.node_faults for node in path)
+        # Lemma 2: bounded misrouting — generously, minimal + total ring
+        # perimeter budget
+        budget = TORUS.distance(src, dst) + sum(
+            2 * (r.span_length(0) + r.span_length(1)) for r in scenario.ring_index.rings
+        )
+        assert len(path) - 1 <= budget
+
+    @given(st.integers(0, 10_000), st.data())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_delivery_mesh(self, seed, data):
+        scenario = scenario_for(MESH, seed)
+        if scenario is None:
+            return
+        router = FaultTolerantRouting.for_scenario(MESH, scenario)
+        healthy = [c for c in MESH.nodes() if c not in scenario.faults.node_faults]
+        src = data.draw(st.sampled_from(healthy))
+        dst = data.draw(st.sampled_from(healthy))
+        if src == dst:
+            return
+        path = router.route_path(src, dst)
+        assert path[-1] == dst
+
+    @given(coords, coords)
+    @settings(max_examples=100)
+    def test_fault_free_routing_is_minimal(self, src, dst):
+        if src == dst:
+            return
+        router = FaultTolerantRouting(TORUS)
+        path = router.route_path(src, dst)
+        assert len(path) - 1 == TORUS.distance(src, dst)
+        assert path == ecube_path(TORUS, src, dst)
+
+
+class TestLemma1Disjointness:
+    @given(st.integers(0, 2_000))
+    @settings(max_examples=20, deadline=None)
+    def test_types_sharing_channel_use_disjoint_classes(self, seed):
+        """Collect, per internode channel, the (message type, class) pairs
+        used across all-pairs routing; different types on one channel must
+        never use the same class."""
+        scenario = scenario_for(TORUS, seed)
+        if scenario is None:
+            return
+        router = FaultTolerantRouting.for_scenario(TORUS, scenario)
+        healthy = [c for c in TORUS.nodes() if c not in scenario.faults.node_faults]
+        usage = {}
+        rng = random.Random(seed)
+        for _ in range(300):
+            src, dst = rng.sample(healthy, 2)
+            state = router.initial_state(src, dst)
+            current = src
+            while True:
+                decision = router.next_hop(state, current)
+                if decision.consume:
+                    break
+                channel = (current, decision.dim, decision.direction)
+                usage.setdefault(channel, {}).setdefault(decision.vc_class, set()).add(
+                    state.msg_dim
+                )
+                current = router.commit_hop(state, current, decision)
+        for channel, by_class in usage.items():
+            for vc_class, msg_dims in by_class.items():
+                assert len(msg_dims) == 1, (
+                    f"channel {channel} class {vc_class} shared by types {msg_dims}"
+                )
+
+
+class TestValidationProperties:
+    @given(fault_patterns)
+    @settings(max_examples=40, deadline=None)
+    def test_validate_never_crashes_unexpectedly(self, pattern):
+        """validate_fault_pattern either returns a scenario or raises one
+        of the documented model errors."""
+        from repro.faults import (
+            NetworkDisconnectedError,
+            NonConvexFaultError,
+            RingGeometryError,
+        )
+
+        try:
+            scenario = validate_fault_pattern(
+                TORUS, FaultSet(frozenset(pattern)), allow_blocking=True
+            )
+        except (NonConvexFaultError, RingGeometryError, NetworkDisconnectedError):
+            return
+        assert scenario.ring_index.rings_healthy(scenario.faults)
+
+
+class TestOverlappingRingProperties:
+    """Random overlapping-ring scenarios stay deadlock-free under the
+    layered ([8]) allocation — checked both by delivery and by the CDG."""
+
+    @given(st.integers(0, 5_000), st.data())
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_layered_delivery(self, seed, data):
+        from repro.faults import FaultGenerationError, generate_overlapping_pattern
+
+        network = Torus(10, 2)
+        try:
+            scenario = generate_overlapping_pattern(
+                network, 3, random.Random(seed), max_tries=3_000
+            )
+        except FaultGenerationError:
+            return
+        router = FaultTolerantRouting.for_scenario(network, scenario)
+        assert router.num_vc_classes == 8
+        healthy = [c for c in network.nodes() if c not in scenario.faults.node_faults]
+        for _ in range(40):
+            src = data.draw(st.sampled_from(healthy))
+            dst = data.draw(st.sampled_from(healthy))
+            if src != dst:
+                path = router.route_path(src, dst)
+                assert path[-1] == dst
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_layered_cdg_acyclic(self, seed):
+        from repro.analysis import assert_deadlock_free
+        from repro.faults import FaultGenerationError, generate_overlapping_pattern
+        from repro.sim import SimNetwork, SimulationConfig
+
+        network = Torus(8, 2)
+        try:
+            scenario = generate_overlapping_pattern(
+                network, 2, random.Random(seed), max_tries=3_000
+            )
+        except FaultGenerationError:
+            return
+        config = SimulationConfig(
+            topology="torus", radix=8, dims=2, faults=scenario.faults,
+            allow_overlapping_rings=True,
+        )
+        assert_deadlock_free(SimNetwork(config), include_sharing=True)
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_layers_are_proper_coloring(self, seed):
+        from repro.faults import (
+            FaultGenerationError,
+            generate_overlapping_pattern,
+            ring_overlap_graph,
+        )
+
+        network = Torus(10, 2)
+        try:
+            scenario = generate_overlapping_pattern(
+                network, 3, random.Random(seed), max_tries=3_000
+            )
+        except FaultGenerationError:
+            return
+        graph = ring_overlap_graph(scenario.ring_index)
+        for region, neighbors in graph.items():
+            for neighbor in neighbors:
+                assert scenario.region_layers[region] != scenario.region_layers[neighbor]

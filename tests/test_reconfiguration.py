@@ -1,0 +1,129 @@
+"""Tests for runtime fault injection and network reconfiguration."""
+
+import pytest
+
+from repro.faults import RingGeometryError
+from repro.router import ChannelKind
+from repro.sim import SimulationConfig, Simulator
+
+
+def running_sim(rate=0.015, radix=8, cycles=500, **kwargs):
+    config = SimulationConfig(
+        topology="torus", radix=radix, dims=2, rate=rate,
+        warmup_cycles=0, measure_cycles=10, **kwargs,
+    )
+    sim = Simulator(config)
+    for _ in range(cycles):
+        sim.step()
+    return sim
+
+
+class TestFaultEvent:
+    def test_node_failure_report(self):
+        sim = running_sim()
+        report = sim.inject_runtime_fault(nodes=[(4, 4)])
+        assert report.new_node_faults == ((4, 4),)
+        assert report.channels_removed == 12  # 8 internode + inj/del + 2 interchip
+        assert report.dropped_in_flight >= 0
+
+    def test_link_failure_report(self):
+        sim = running_sim()
+        report = sim.inject_runtime_fault(links=[((1, 1), 0, 1)])
+        assert report.channels_removed == 2
+        assert len(report.new_link_faults) == 1
+
+    def test_structures_rebuilt(self):
+        sim = running_sim()
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        assert (4, 4) not in sim.net.nodes
+        assert (4, 4) not in sim.net.healthy
+        assert len(sim.net.scenario.ring_index.rings) == 1
+        assert any(ch.on_ring for ch in sim.net.channels)
+        assert (4, 4) not in sim.traffic.healthy_set
+
+    def test_no_channel_touches_dead_node(self):
+        sim = running_sim()
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        for channel in sim.net.channels:
+            assert channel.src_node != (4, 4) and channel.dst_node != (4, 4)
+        for node in sim.net.nodes.values():
+            for module in node.modules:
+                for channel in module.outputs.values():
+                    assert channel.dst_node != (4, 4)
+
+    def test_bisection_bandwidth_updated(self):
+        sim = running_sim()
+        before = sim.net.bisection_bandwidth
+        sim.inject_runtime_fault(links=[((3, 2), 0, 1)])  # a bisection link
+        assert sim.net.bisection_bandwidth == before - 2
+
+    def test_rejected_event_changes_nothing(self):
+        sim = running_sim()
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        channels_before = len(sim.net.channels)
+        # an overlapping-ring fault pattern must be rejected atomically
+        with pytest.raises(RingGeometryError):
+            sim.inject_runtime_fault(nodes=[(5, 6)])
+        assert len(sim.net.channels) == channels_before
+
+    def test_empty_event_rejected(self):
+        sim = running_sim()
+        with pytest.raises(ValueError):
+            sim.inject_runtime_fault()
+
+
+class TestTrafficContinuity:
+    def test_network_keeps_operating_and_drains(self):
+        sim = running_sim()
+        delivered_before = sum(
+            1 for q in sim.queues.values() for _m in q
+        )  # just exercise accounting
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        for _ in range(600):
+            sim.step()
+        sim.drain()
+        assert sim.in_flight == 0
+
+    def test_messages_detour_after_event(self):
+        sim = running_sim(rate=0.0, cycles=5)
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        message = sim.inject_message((2, 4), (6, 4))
+        sim.drain()
+        assert message.consumed_cycle is not None
+        assert message.route.misroute_hops > 0 or message.route.normal_hops > 4
+
+    def test_sequential_fault_events(self):
+        sim = running_sim()
+        first = sim.inject_runtime_fault(nodes=[(2, 2)])
+        for _ in range(300):
+            sim.step()
+        second = sim.inject_runtime_fault(nodes=[(6, 6)])
+        for _ in range(300):
+            sim.step()
+        sim.drain()
+        assert sim.in_flight == 0
+        assert len(sim.net.scenario.ring_index.rings) == 2
+
+    def test_victims_no_longer_hold_channels(self):
+        sim = running_sim(rate=0.03)
+        report = sim.inject_runtime_fault(nodes=[(4, 4)])
+        lost = set(report.lost_message_ids)
+        for channel in sim.net.channels:
+            for vc in channel.busy:
+                assert vc.message.msg_id not in lost
+
+    def test_accounting_consistent_after_event(self):
+        sim = running_sim(rate=0.03)
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        assert sim.in_flight >= 0
+        assert all(v >= 0 for v in sim.outstanding.values())
+        sim.drain()
+        assert sim.in_flight == 0
+
+    def test_request_reply_survives_event(self):
+        sim = running_sim(rate=0.008, protocol_classes=2, request_reply=True)
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        for _ in range(500):
+            sim.step()
+        sim.drain()
+        assert sim.in_flight == 0

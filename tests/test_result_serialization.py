@@ -1,0 +1,38 @@
+"""Tests for result JSON serialization."""
+
+import json
+
+from repro.sim import SimulationConfig, Simulator
+from repro.sim.metrics import SimulationResult
+
+
+def small_result():
+    config = SimulationConfig(
+        topology="torus", radix=6, dims=2, rate=0.01,
+        warmup_cycles=100, measure_cycles=500,
+    )
+    return Simulator(config).run()
+
+
+class TestSerialization:
+    def test_to_dict_has_derived_metrics(self):
+        result = small_result()
+        data = result.to_dict()
+        assert data["throughput_flits_per_cycle"] == result.throughput_flits_per_cycle
+        assert data["bisection_utilization"] == result.bisection_utilization
+        assert data["topology"] == "torus"
+
+    def test_to_json_roundtrip(self):
+        result = small_result()
+        data = json.loads(result.to_json())
+        assert data["delivered"] == result.delivered
+
+    def test_sweep_to_json(self):
+        result = small_result()
+        payload = json.loads(SimulationResult.sweep_to_json([result, result]))
+        assert len(payload) == 2
+        assert payload[0]["radix"] == 6
+
+    def test_json_is_sorted_and_stable(self):
+        result = small_result()
+        assert result.to_json() == result.to_json()

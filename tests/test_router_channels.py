@@ -1,0 +1,82 @@
+"""Unit tests for virtual/physical channel mechanics."""
+
+from repro.router import ChannelKind, MessageSource, PhysicalChannel
+from repro.router.channels import VirtualChannel
+
+
+def make_channel(num_classes=4, depth=4):
+    return PhysicalChannel(ChannelKind.INTERNODE, num_classes, buffer_depth=depth)
+
+
+class TestVirtualChannel:
+    def test_initial_state(self):
+        vc = make_channel().vcs[0]
+        assert vc.free and vc.buffered == 0
+        assert not vc.has_eligible_flit(100)
+
+    def test_space_respects_depth(self):
+        channel = make_channel(depth=2)
+        vc = channel.vcs[0]
+        vc.received = 2
+        assert not vc.has_space()
+        vc.sent = 1
+        assert vc.has_space()
+
+    def test_eligibility_ordering(self):
+        vc = make_channel().vcs[1]
+        vc.eligible.extend([10, 12])
+        assert not vc.has_eligible_flit(9)
+        assert vc.has_eligible_flit(10)
+        vc.pop_flit()
+        assert vc.sent == 1
+        assert not vc.has_eligible_flit(11)
+        assert vc.has_eligible_flit(12)
+
+    def test_reset_clears_everything(self):
+        vc = make_channel().vcs[2]
+        vc.received, vc.sent = 5, 3
+        vc.eligible.extend([1, 2])
+        vc.waiting_route = True
+        vc.cached_resolution = object()
+        vc.reset()
+        assert vc.free and vc.buffered == 0 and not vc.eligible
+        assert not vc.waiting_route and vc.cached_resolution is None
+
+
+class TestMessageSource:
+    def test_supplies_exactly_length_flits(self):
+        source = MessageSource(3)
+        assert source.has_eligible_flit(0)
+        source.pop_flit()
+        source.pop_flit()
+        source.pop_flit()
+        assert not source.has_eligible_flit(0)
+
+
+class TestPhysicalChannel:
+    def test_one_vc_per_class(self):
+        channel = make_channel(num_classes=4)
+        assert [vc.vc_class for vc in channel.vcs] == [0, 1, 2, 3]
+
+    def test_free_vc_preference_order(self):
+        channel = make_channel()
+        assert channel.free_vc((2, 0)).vc_class == 2
+        channel.vcs[2].message = object()
+        assert channel.free_vc((2, 0)).vc_class == 0
+        channel.vcs[0].message = object()
+        assert channel.free_vc((2, 0)) is None
+
+    def test_release_removes_from_busy(self):
+        channel = make_channel()
+        vc = channel.vcs[1]
+        vc.message = object()
+        channel.busy.append(vc)
+        channel.release(vc)
+        assert vc.free and vc not in channel.busy
+
+    def test_release_idempotent(self):
+        channel = make_channel()
+        vc = channel.vcs[1]
+        channel.release(vc)
+        channel.release(vc)
+        assert vc not in channel.busy

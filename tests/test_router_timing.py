@@ -1,0 +1,30 @@
+"""Unit tests for router timing models."""
+
+from repro.router import PIPELINED, UNPIPELINED, UNPIPELINED_SLOW_CLOCK
+
+
+class TestTimingModels:
+    def test_pipelined_paper_delays(self):
+        assert PIPELINED.header_delay == 3
+        assert PIPELINED.data_delay == 2
+        assert PIPELINED.clock_scale == 1.0
+
+    def test_unpipelined_single_cycle(self):
+        assert UNPIPELINED.header_delay == 1
+        assert UNPIPELINED.data_delay == 1
+
+    def test_slow_clock_variant(self):
+        assert UNPIPELINED_SLOW_CLOCK.clock_scale == 1.3
+        assert UNPIPELINED_SLOW_CLOCK.header_delay == 1
+
+    def test_delay_for(self):
+        assert PIPELINED.delay_for(True) == 3
+        assert PIPELINED.delay_for(False) == 2
+
+    def test_immutable(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PIPELINED.header_delay = 1  # type: ignore[misc]

@@ -1,0 +1,90 @@
+"""Unit tests for metrics and confidence intervals."""
+
+import math
+
+from repro.sim import SimulationConfig, batch_means_ci
+from repro.sim.metrics import SimulationResult, t_quantile_975
+
+
+def make_result(**overrides):
+    base = dict(
+        topology="torus",
+        radix=16,
+        dims=2,
+        router_model="pdr",
+        timing_name="pipelined",
+        fault_percent=0,
+        rate=0.01,
+        message_length=20,
+        num_vcs=4,
+        seed=1,
+        cycles=1000,
+        generated=600,
+        injected=590,
+        delivered=500,
+        delivered_flits=10_000,
+        bisection_messages=250,
+        bisection_bandwidth=64,
+        avg_latency=120.0,
+        latency_ci=5.0,
+        avg_queueing=3.0,
+        misrouted_messages=10,
+        avg_misroute_hops=2.5,
+        final_source_queue=4,
+        in_flight_at_end=7,
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestBatchMeans:
+    def test_constant_batches_zero_width(self):
+        mean, half = batch_means_ci([5.0] * 10)
+        assert mean == 5.0 and half == 0.0
+
+    def test_single_batch_infinite_width(self):
+        mean, half = batch_means_ci([5.0])
+        assert mean == 5.0 and math.isinf(half)
+
+    def test_empty(self):
+        assert batch_means_ci([]) == (0.0, 0.0)
+
+    def test_width_shrinks_with_more_batches(self):
+        wide = batch_means_ci([4.0, 6.0])[1]
+        narrow = batch_means_ci([4.0, 6.0] * 5)[1]
+        assert narrow < wide
+
+    def test_t_quantiles(self):
+        assert t_quantile_975(1) > t_quantile_975(9) > t_quantile_975(100) == 1.96
+        assert math.isinf(t_quantile_975(0))
+
+
+class TestSimulationResult:
+    def test_throughput(self):
+        result = make_result()
+        assert result.throughput_flits_per_cycle == 10.0
+        assert result.messages_per_cycle == 0.5
+
+    def test_bisection_utilization_definition(self):
+        result = make_result()
+        # (250/1000 msgs/cycle * 20 flits) / 64 flits/cycle
+        assert abs(result.bisection_utilization - 0.25 * 20 / 64) < 1e-12
+
+    def test_zero_cycles_safe(self):
+        result = make_result(cycles=0)
+        assert result.throughput_flits_per_cycle == 0.0
+        assert result.bisection_utilization == 0.0
+
+    def test_applied_load(self):
+        assert make_result().applied_load_flits_per_node == 0.2
+
+    def test_scaled_latency(self):
+        assert make_result().scaled_latency(1.3) == 156.0
+
+    def test_saturated_heuristic(self):
+        assert not make_result().saturated
+        assert make_result(final_source_queue=10_000).saturated
+
+    def test_row_renders(self):
+        row = make_result().row()
+        assert "rho_b" in row and "lat" in row

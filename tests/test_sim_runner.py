@@ -1,0 +1,61 @@
+"""Unit tests for the sweep runner helpers."""
+
+from repro.sim import SimulationConfig, run_point, sweep_rates
+from repro.sim.runner import default_rate_grid, saturation_utilization
+
+
+def config(**kwargs):
+    defaults = dict(
+        topology="torus",
+        radix=6,
+        dims=2,
+        rate=0.01,
+        warmup_cycles=200,
+        measure_cycles=800,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestRunPoint:
+    def test_returns_result(self):
+        result = run_point(config())
+        assert result.delivered > 0
+        assert result.rate == 0.01
+
+    def test_network_reuse(self):
+        from repro.sim import SimNetwork
+
+        net = SimNetwork(config())
+        first = run_point(config(), net)
+        second = run_point(config(), net)
+        assert first.delivered == second.delivered  # same seed, clean reset
+
+
+class TestSweep:
+    def test_rates_applied_in_order(self):
+        results = sweep_rates(config(), [0.005, 0.02])
+        assert [r.rate for r in results] == [0.005, 0.02]
+
+    def test_progress_callback(self):
+        seen = []
+        sweep_rates(config(), [0.005, 0.01], progress=seen.append)
+        assert len(seen) == 2
+
+    def test_saturation_utilization(self):
+        results = sweep_rates(config(), [0.005, 0.03])
+        peak = saturation_utilization(results)
+        assert peak == max(r.bisection_utilization for r in results)
+        assert saturation_utilization([]) == 0.0
+
+
+class TestDefaultGrids:
+    def test_grids_exist_per_scenario(self):
+        for topology in ("torus", "mesh"):
+            for percent in (0, 1, 5):
+                grid = default_rate_grid(topology, percent)
+                assert grid == sorted(grid)
+                assert all(0 < r < 0.1 for r in grid)
+
+    def test_faulty_grids_probe_lower_loads(self):
+        assert max(default_rate_grid("torus", 5)) < max(default_rate_grid("torus", 0))

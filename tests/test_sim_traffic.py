@@ -1,0 +1,97 @@
+"""Unit tests for traffic patterns."""
+
+import random
+
+import pytest
+
+from repro.sim.traffic import (
+    BitReversalTraffic,
+    HotspotTraffic,
+    TransposeTraffic,
+    UniformTraffic,
+    make_traffic,
+)
+from repro.topology import Torus
+
+
+@pytest.fixture()
+def net():
+    t = Torus(8, 2)
+    return t, list(t.nodes())
+
+
+class TestUniform:
+    def test_never_self(self, net):
+        t, healthy = net
+        traffic = UniformTraffic(t, healthy, random.Random(0))
+        for _ in range(500):
+            src = (3, 3)
+            assert traffic.destination(src) != src
+
+    def test_covers_many_destinations(self, net):
+        t, healthy = net
+        traffic = UniformTraffic(t, healthy, random.Random(0))
+        seen = {traffic.destination((0, 0)) for _ in range(2000)}
+        assert len(seen) > 50
+
+    def test_respects_healthy_subset(self, net):
+        t, healthy = net
+        subset = healthy[:10]
+        traffic = UniformTraffic(t, subset, random.Random(0))
+        for _ in range(100):
+            assert traffic.destination((0, 0)) in subset
+
+
+class TestTranspose:
+    def test_swaps_first_two_dims(self, net):
+        t, healthy = net
+        traffic = TransposeTraffic(t, healthy, random.Random(0))
+        assert traffic.destination((2, 5)) == (5, 2)
+
+    def test_diagonal_nodes_silent(self, net):
+        t, healthy = net
+        traffic = TransposeTraffic(t, healthy, random.Random(0))
+        assert traffic.destination((3, 3)) is None
+
+    def test_faulty_destination_silent(self, net):
+        t, healthy = net
+        traffic = TransposeTraffic(t, [c for c in healthy if c != (5, 2)], random.Random(0))
+        assert traffic.destination((2, 5)) is None
+
+
+class TestBitReversal:
+    def test_permutation(self, net):
+        t, healthy = net
+        traffic = BitReversalTraffic(t, healthy, random.Random(0))
+        # node id 1 = 000001 -> reversed 100000 = 32
+        assert traffic.destination(t.coord(1)) == t.coord(32)
+
+    def test_non_power_of_two_rejected(self):
+        t = Torus(6, 2)
+        with pytest.raises(ValueError):
+            BitReversalTraffic(t, list(t.nodes()), random.Random(0))
+
+
+class TestHotspot:
+    def test_fraction_hits_hotspot(self, net):
+        t, healthy = net
+        traffic = HotspotTraffic(t, healthy, random.Random(0), fraction=0.5)
+        hits = sum(1 for _ in range(2000) if traffic.destination((0, 0)) == traffic.hotspot)
+        assert 800 < hits < 1300
+
+    def test_default_hotspot_is_center(self, net):
+        t, healthy = net
+        traffic = HotspotTraffic(t, healthy, random.Random(0))
+        assert traffic.hotspot == (4, 4)
+
+
+class TestFactory:
+    def test_known_names(self, net):
+        t, healthy = net
+        for name in ("uniform", "transpose", "bit-reversal", "hotspot"):
+            assert make_traffic(name, t, healthy, random.Random(0)).name == name
+
+    def test_unknown_name(self, net):
+        t, healthy = net
+        with pytest.raises(ValueError):
+            make_traffic("tornado", t, healthy, random.Random(0))

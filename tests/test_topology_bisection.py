@@ -1,0 +1,69 @@
+"""Unit tests for bisection bandwidth and bisection-message accounting."""
+
+from repro.faults import FaultSet
+from repro.topology import (
+    Mesh,
+    Torus,
+    bisection_bandwidth,
+    bisection_links,
+    is_bisection_message,
+    side_of_bisection,
+)
+
+
+class TestBisectionBandwidth:
+    def test_mesh_16(self):
+        # "the row links connecting nodes in the middle two columns of a
+        # 16x16 mesh": 16 links, 2 channels each.
+        assert bisection_bandwidth(Mesh(16, 2)) == 32
+
+    def test_torus_16(self):
+        # The wraparound doubles the cut.
+        assert bisection_bandwidth(Torus(16, 2)) == 64
+
+    def test_torus_3d(self):
+        # cut crosses k^(n-1) links per cut column, twice for the torus
+        assert bisection_bandwidth(Torus(4, 3)) == 2 * 2 * 16
+
+    def test_links_all_in_dim0(self):
+        for link in bisection_links(Torus(8, 2)):
+            assert link.dim == 0
+
+    def test_faulty_links_reduce_bandwidth(self):
+        t = Torus(8, 2)
+        links = list(bisection_links(t))
+        faulty = frozenset(links[:3])
+        assert bisection_bandwidth(t, faulty) == 2 * (len(links) - 3)
+
+    def test_node_fault_on_cut_reduces_bandwidth(self):
+        t = Torus(16, 2)
+        faults = FaultSet.of(t, nodes=[(7, 3)])  # node adjacent to the cut
+        faulty_links = faults.all_faulty_links(t)
+        assert bisection_bandwidth(t, faulty_links) == 64 - 2
+
+    def test_odd_radix_supported(self):
+        # near-bisection for odd radices keeps the metric defined
+        assert bisection_bandwidth(Mesh(5, 2)) == 2 * 5
+
+
+class TestBisectionMessages:
+    def test_sides(self):
+        t = Torus(16, 2)
+        assert side_of_bisection((0, 5), t) == 0
+        assert side_of_bisection((7, 5), t) == 0
+        assert side_of_bisection((8, 5), t) == 1
+        assert side_of_bisection((15, 5), t) == 1
+
+    def test_crossing_message(self):
+        t = Torus(16, 2)
+        assert is_bisection_message((0, 0), (8, 0), t)
+        assert not is_bisection_message((0, 0), (7, 15), t)
+
+    def test_uniform_traffic_half_crosses(self):
+        t = Torus(16, 2)
+        nodes = list(t.nodes())
+        crossing = sum(
+            1 for s in nodes for d in nodes if s != d and is_bisection_message(s, d, t)
+        )
+        total = len(nodes) * (len(nodes) - 1)
+        assert abs(crossing / total - 0.5) < 0.01

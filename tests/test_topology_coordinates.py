@@ -1,0 +1,111 @@
+"""Unit tests for coordinate arithmetic."""
+
+import pytest
+
+from repro.topology import (
+    Direction,
+    all_coords,
+    coord_to_id,
+    id_to_coord,
+    ring_span,
+    ring_span_length,
+    torus_distance,
+)
+from repro.topology.coordinates import step
+
+
+class TestDirection:
+    def test_values(self):
+        assert int(Direction.POS) == 1
+        assert int(Direction.NEG) == -1
+
+    def test_opposite(self):
+        assert Direction.POS.opposite is Direction.NEG
+        assert Direction.NEG.opposite is Direction.POS
+
+    def test_symbols(self):
+        assert Direction.POS.symbol == "+"
+        assert Direction.NEG.symbol == "-"
+
+
+class TestIdConversion:
+    def test_dim0_is_least_significant(self):
+        # coord == (x0, x1); x0 is the fastest-varying digit
+        assert coord_to_id((2, 1), 4) == 6
+        assert coord_to_id((0, 0), 4) == 0
+        assert coord_to_id((3, 3), 4) == 15
+
+    def test_roundtrip_2d(self):
+        for node_id in range(64):
+            assert coord_to_id(id_to_coord(node_id, 8, 2), 8) == node_id
+
+    def test_roundtrip_3d(self):
+        for node_id in range(5**3):
+            assert coord_to_id(id_to_coord(node_id, 5, 3), 5) == node_id
+
+    def test_out_of_range_coord(self):
+        with pytest.raises(ValueError):
+            coord_to_id((4, 0), 4)
+        with pytest.raises(ValueError):
+            coord_to_id((-1, 0), 4)
+
+    def test_out_of_range_id(self):
+        with pytest.raises(ValueError):
+            id_to_coord(16, 4, 2)
+        with pytest.raises(ValueError):
+            id_to_coord(-1, 4, 2)
+
+    def test_all_coords_order_and_count(self):
+        coords = list(all_coords(3, 2))
+        assert len(coords) == 9
+        assert coords[0] == (0, 0)
+        assert coords[1] == (1, 0)  # dim 0 varies fastest
+        assert coords[-1] == (2, 2)
+
+
+class TestStep:
+    def test_wrapping_step(self):
+        assert step((3, 0), 0, Direction.POS, 4, wrap=True) == (0, 0)
+        assert step((0, 2), 0, Direction.NEG, 4, wrap=True) == (3, 2)
+
+    def test_interior_step_without_wrap(self):
+        assert step((1, 1), 1, Direction.POS, 4, wrap=False) == (1, 2)
+
+    def test_boundary_step_without_wrap_raises(self):
+        with pytest.raises(ValueError):
+            step((3, 0), 0, Direction.POS, 4, wrap=False)
+        with pytest.raises(ValueError):
+            step((0, 0), 0, Direction.NEG, 4, wrap=False)
+
+    def test_untouched_dims(self):
+        assert step((1, 2, 3), 1, Direction.POS, 5, wrap=True) == (1, 3, 3)
+
+
+class TestTorusDistance:
+    def test_forward_shorter(self):
+        assert torus_distance(0, 2, 8) == 2
+
+    def test_backward_shorter(self):
+        assert torus_distance(0, 6, 8) == 2
+
+    def test_halfway(self):
+        assert torus_distance(0, 4, 8) == 4
+
+    def test_same(self):
+        assert torus_distance(5, 5, 8) == 0
+
+
+class TestRingSpan:
+    def test_simple(self):
+        assert list(ring_span(2, 5, 8)) == [2, 3, 4, 5]
+
+    def test_wrapping(self):
+        assert list(ring_span(6, 1, 8)) == [6, 7, 0, 1]
+
+    def test_single(self):
+        assert list(ring_span(3, 3, 8)) == [3]
+
+    def test_length_matches(self):
+        for lo in range(8):
+            for hi in range(8):
+                assert ring_span_length(lo, hi, 8) == len(list(ring_span(lo, hi, 8)))

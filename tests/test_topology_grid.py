@@ -1,0 +1,127 @@
+"""Unit tests for the torus/mesh network structure."""
+
+import pytest
+
+from repro.topology import BiLink, Direction, Mesh, Torus, make_network
+
+
+class TestConstruction:
+    def test_num_nodes(self):
+        assert Torus(4, 2).num_nodes == 16
+        assert Mesh(4, 3).num_nodes == 64
+
+    def test_invalid_radix(self):
+        with pytest.raises(ValueError):
+            Torus(1, 2)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Mesh(4, 0)
+
+    def test_factory(self):
+        assert isinstance(make_network("torus", 4, 2), Torus)
+        assert isinstance(make_network("MESH", 4, 2), Mesh)
+        with pytest.raises(ValueError):
+            make_network("hypercube", 4, 2)
+
+
+class TestNeighbors:
+    def test_torus_every_node_has_2n_neighbors(self):
+        t = Torus(4, 2)
+        for coord in t.nodes():
+            assert len(list(t.neighbors(coord))) == 4
+
+    def test_mesh_corner_has_n_neighbors(self):
+        m = Mesh(4, 2)
+        assert len(list(m.neighbors((0, 0)))) == 2
+        assert len(list(m.neighbors((3, 3)))) == 2
+
+    def test_mesh_edge_and_interior(self):
+        m = Mesh(4, 2)
+        assert len(list(m.neighbors((1, 0)))) == 3
+        assert len(list(m.neighbors((1, 1)))) == 4
+
+    def test_torus_wraparound_neighbor(self):
+        t = Torus(4, 2)
+        assert t.neighbor((3, 1), 0, Direction.POS) == (0, 1)
+        assert t.neighbor((1, 0), 1, Direction.NEG) == (1, 3)
+
+    def test_mesh_boundary_neighbor_is_none(self):
+        m = Mesh(4, 2)
+        assert m.neighbor((3, 1), 0, Direction.POS) is None
+        assert m.neighbor((1, 0), 1, Direction.NEG) is None
+
+    def test_bad_dim_raises(self):
+        with pytest.raises(ValueError):
+            Torus(4, 2).neighbor((0, 0), 2, Direction.POS)
+
+
+class TestLinks:
+    def test_torus_link_count(self):
+        t = Torus(8, 2)
+        links = list(t.links())
+        assert len(links) == t.num_links() == 2 * 8 * 8
+
+    def test_mesh_link_count(self):
+        m = Mesh(8, 2)
+        assert len(list(m.links())) == m.num_links() == 2 * 7 * 8
+
+    def test_3d_counts(self):
+        assert Torus(4, 3).num_links() == 3 * 4 * 16
+        assert Mesh(4, 3).num_links() == 3 * 3 * 16
+
+    def test_links_reported_once(self):
+        t = Torus(4, 2)
+        links = list(t.links())
+        assert len(links) == len(set(links))
+
+    def test_bilink_normalized(self):
+        link = BiLink.between((3, 0), (0, 0), 0, 4)
+        assert link.u == (0, 0) and link.v == (3, 0)
+        assert BiLink.between((0, 0), (3, 0), 0, 4) == link
+
+
+class TestWraparound:
+    def test_torus_wraparound_hops(self):
+        t = Torus(4, 2)
+        assert t.is_wraparound_hop((3, 0), 0, Direction.POS)
+        assert t.is_wraparound_hop((0, 2), 0, Direction.NEG)
+        assert not t.is_wraparound_hop((1, 0), 0, Direction.POS)
+
+    def test_mesh_never_wraps(self):
+        m = Mesh(4, 2)
+        assert not m.is_wraparound_hop((3, 0), 0, Direction.POS)
+
+
+class TestRoutingQueries:
+    def test_minimal_direction_torus(self):
+        t = Torus(8, 2)
+        assert t.minimal_direction(0, 2) is Direction.POS
+        assert t.minimal_direction(0, 6) is Direction.NEG
+        assert t.minimal_direction(0, 4) is Direction.POS  # tie -> POS
+        assert t.minimal_direction(3, 3) is None
+
+    def test_minimal_direction_mesh(self):
+        m = Mesh(8, 2)
+        assert m.minimal_direction(0, 7) is Direction.POS
+        assert m.minimal_direction(7, 0) is Direction.NEG
+
+    def test_distance_torus(self):
+        t = Torus(8, 2)
+        assert t.distance((0, 0), (7, 7)) == 2  # wrap both dims
+        assert t.distance((0, 0), (4, 4)) == 8
+
+    def test_distance_mesh(self):
+        m = Mesh(8, 2)
+        assert m.distance((0, 0), (7, 7)) == 14
+
+    def test_crosses_dateline(self):
+        t = Torus(8, 2)
+        assert t.crosses_dateline(6, 1, Direction.POS)  # 6->7->0->1
+        assert not t.crosses_dateline(1, 6, Direction.POS)
+        assert t.crosses_dateline(1, 6, Direction.NEG)  # 1->0->7->6
+        assert not t.crosses_dateline(6, 1, Direction.NEG)
+
+    def test_mesh_never_crosses_dateline(self):
+        m = Mesh(8, 2)
+        assert not m.crosses_dateline(0, 7, Direction.POS)
