@@ -45,6 +45,14 @@ from .core import (
     RoutingError,
 )
 from .router import PIPELINED, UNPIPELINED, RouterTiming
+from .reliability import (
+    FaultCampaign,
+    FaultEvent,
+    ReliabilityConfig,
+    ReliabilityStats,
+    ReliableTransport,
+    run_campaign,
+)
 from .sim import (
     DeadlockError,
     SimNetwork,
@@ -66,6 +74,8 @@ __all__ = [
     "Decision",
     "Direction",
     "ECubeRouting",
+    "FaultCampaign",
+    "FaultEvent",
     "FaultRing",
     "FaultRingIndex",
     "FaultScenario",
@@ -74,6 +84,9 @@ __all__ = [
     "GridNetwork",
     "Mesh",
     "MessageRoute",
+    "ReliabilityConfig",
+    "ReliabilityStats",
+    "ReliableTransport",
     "RouterTiming",
     "RoutingError",
     "SimNetwork",
@@ -84,6 +97,7 @@ __all__ = [
     "generate_fault_pattern",
     "make_network",
     "paper_fault_scenario",
+    "run_campaign",
     "run_point",
     "sweep_rates",
     "validate_fault_pattern",

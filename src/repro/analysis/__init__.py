@@ -18,15 +18,18 @@ from .instrumentation import (
 )
 from .report import (
     ascii_chart,
+    campaign_table,
     format_table,
     latency_series,
     results_table,
+    survivability_summary,
     utilization_series,
 )
 
 __all__ = [
     "ChannelLoad",
     "ascii_chart",
+    "campaign_table",
     "channel_utilizations",
     "hotspot_report",
     "latency_histogram",
@@ -41,5 +44,6 @@ __all__ = [
     "latency_series",
     "misroute_statistics",
     "results_table",
+    "survivability_summary",
     "utilization_series",
 ]

@@ -100,6 +100,80 @@ def ascii_chart(
     return "\n".join(lines)
 
 
+def campaign_table(outcome) -> str:
+    """Per-epoch timeline of one fault campaign replay: the healthy
+    baseline followed by every injection and its degraded epoch.
+    ``outcome`` is a :class:`repro.reliability.CampaignOutcome`."""
+    headers = [
+        "epoch",
+        "cycle",
+        "delivered",
+        "thr msg/c",
+        "latency",
+        "lost in flight",
+        "lost queued",
+        "recovered in",
+    ]
+    rows: List[List[object]] = []
+    if outcome.baseline is not None:
+        rows.append(
+            [
+                "healthy baseline",
+                outcome.baseline.start_cycle,
+                outcome.baseline.delivered,
+                f"{outcome.baseline.throughput:.3f}",
+                outcome.baseline.avg_latency,
+                0,
+                0,
+                "-",
+            ]
+        )
+    for record in outcome.records:
+        label = record.event.describe()
+        if not record.applied:
+            rows.append([f"{label} (REJECTED)", record.cycle, "-", "-", "-", "-", "-", "-"])
+            continue
+        epoch = record.epoch
+        rows.append(
+            [
+                label,
+                record.cycle,
+                epoch.delivered if epoch else "-",
+                f"{epoch.throughput:.3f}" if epoch else "-",
+                epoch.avg_latency if epoch else "-",
+                record.report.dropped_in_flight,
+                record.report.dropped_queued,
+                f"{record.time_to_recover} cyc" if record.time_to_recover is not None else "-",
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def survivability_summary(outcome) -> str:
+    """Compact prose summary of a campaign replay's survivability:
+    degraded-mode throughput vs. the healthy baseline plus the transport's
+    delivery accounting (when a reliability layer ran)."""
+    lines = [
+        f"fault events applied: {outcome.applied_events} of {len(outcome.records)}"
+    ]
+    ratio = outcome.degraded_throughput_ratio
+    if ratio is not None:
+        lines.append(
+            f"degraded-mode throughput: {100 * ratio:.1f}% of healthy baseline "
+            f"({outcome.baseline.throughput:.3f} msg/cycle)"
+        )
+    stats = outcome.stats
+    if stats is None:
+        lines.append("reliability layer: disabled (losses are permanent)")
+    else:
+        lines.append("reliability layer: " + stats.summary())
+        lines.append(
+            "exactly-once delivery: "
+            + ("YES" if stats.exactly_once else f"NO ({stats.lost} lost)")
+        )
+    return "\n".join(lines)
+
+
 def latency_series(results: Sequence[SimulationResult]) -> List[tuple]:
     return [(r.applied_load_flits_per_node, r.avg_latency) for r in results]
 

@@ -8,6 +8,7 @@ Subcommands regenerate each figure/table of the paper::
     repro-experiments fig10                 # pipelined vs unpipelined
     repro-experiments tables                # Tables 1 & 2 + Lemma 1 CDG check
     repro-experiments throughput            # Section 6 raw numbers
+    repro-experiments campaign              # runtime-fault survivability
     repro-experiments all --scale paper --out results.txt
 """
 
@@ -18,6 +19,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional
 
+from .campaign import campaign_report
 from .extension3d import ext3d
 from .figures import fig8, fig9, fig10, throughput_summary
 from .tables import lemma1_evidence, table1, table2
@@ -40,6 +42,7 @@ _COMMANDS: Dict[str, Callable[[str], str]] = {
     "tables": lambda _scale: "\n\n".join([table1(), table2(), lemma1_evidence()]),
     "throughput": throughput_summary,
     "ext3d": ext3d,
+    "campaign": campaign_report,
 }
 
 

@@ -1,0 +1,44 @@
+"""End-to-end reliable delivery and fault-injection campaigns.
+
+The paper truncates worms caught in transit through dying components and
+leaves recovery to "higher-level protocols" it never builds.  This
+package is that layer:
+
+* :class:`ReliableTransport` — per-source sequence numbers, delivery
+  ACKs riding the normal message machinery, timeout/backoff
+  retransmission (fast-started by fault-kill notifications), and
+  duplicate suppression at the sink: exactly-once delivery over the
+  lossy fault transition.
+* :class:`FaultCampaign` / :func:`run_campaign` — scripted or seeded
+  timelines of runtime fault injections (rolling failures, board bursts,
+  fail-then-grow regions) replayed against a live simulator with
+  per-epoch throughput and per-event recovery measurements.
+"""
+
+from .campaign import (
+    CampaignOutcome,
+    EpochStats,
+    FaultCampaign,
+    FaultEvent,
+    InjectionRecord,
+    run_campaign,
+)
+from .stats import ReliabilityStats
+from .transport import (
+    FaultRecoveryTrack,
+    ReliabilityConfig,
+    ReliableTransport,
+)
+
+__all__ = [
+    "CampaignOutcome",
+    "EpochStats",
+    "FaultCampaign",
+    "FaultEvent",
+    "FaultRecoveryTrack",
+    "InjectionRecord",
+    "ReliabilityConfig",
+    "ReliabilityStats",
+    "ReliableTransport",
+    "run_campaign",
+]

@@ -1,0 +1,70 @@
+"""Counters kept by the end-to-end reliability layer.
+
+The paper's fault transition is deliberately lossy: worms caught in
+wormhole transit through a dying component are truncated and discarded,
+and recovery is left to "higher-level protocols".  These counters are
+the observable behaviour of that higher-level protocol — how much was
+lost, how much work recovery cost (retransmissions, duplicates, ACK
+overhead), and what ultimately could not be recovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ReliabilityStats:
+    """Cumulative transport counters for one simulation run."""
+
+    #: data messages registered with the transport (original
+    #: transmissions only, not retransmitted copies or ACKs)
+    tracked_generated: int = 0
+    #: distinct messages delivered at least once at their sink
+    unique_delivered: int = 0
+    #: deliveries suppressed at the sink as duplicates of an
+    #: already-delivered sequence number
+    duplicates: int = 0
+    #: retransmitted copies injected (timeouts + fault notifications)
+    retransmissions: int = 0
+    #: retransmissions triggered by ACK-timeout expiry
+    timeouts: int = 0
+    #: retransmissions triggered directly by a fault-kill notification
+    fault_retransmissions: int = 0
+    #: delivery acknowledgements sent by sinks
+    acks_sent: int = 0
+    #: acknowledgements that made it back to the source
+    acks_delivered: int = 0
+    #: acknowledgements truncated by fault events (the data timer covers
+    #: these: the source retransmits and the sink re-ACKs)
+    acks_killed: int = 0
+    #: worms truncated in transit by fault events (transport view)
+    killed_in_flight: int = 0
+    #: queued messages dropped by fault events
+    killed_queued: int = 0
+    #: flows abandoned because their source or destination died
+    aborted: int = 0
+    #: flows abandoned after ``max_retries`` retransmissions
+    gave_up: int = 0
+
+    @property
+    def lost(self) -> int:
+        """Tracked messages never delivered (at the end of a drained run:
+        aborted plus given-up flows; mid-run it also counts flows still
+        in recovery)."""
+        return self.tracked_generated - self.unique_delivered
+
+    @property
+    def exactly_once(self) -> bool:
+        """True when every tracked message was delivered exactly once at
+        the application level (duplicates were suppressed, none lost)."""
+        return self.tracked_generated > 0 and self.lost == 0
+
+    def summary(self) -> str:
+        return (
+            f"tracked={self.tracked_generated} delivered={self.unique_delivered} "
+            f"lost={self.lost} retransmitted={self.retransmissions} "
+            f"(timeouts={self.timeouts}, fault-notified={self.fault_retransmissions}) "
+            f"duplicates={self.duplicates} acks={self.acks_sent} "
+            f"aborted={self.aborted} gave_up={self.gave_up}"
+        )

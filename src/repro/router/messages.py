@@ -26,6 +26,9 @@ class Message:
         "exited_source",
         "is_bisection",
         "protocol",
+        "seq",
+        "ack_for",
+        "attempt",
     )
 
     def __init__(
@@ -55,6 +58,20 @@ class Message:
         #: protocol class (0 = request bank); selects the virtual channel
         #: bank used on every physical channel
         self.protocol = protocol
+        #: end-to-end sequence number assigned by the reliability layer
+        #: (per source node); None when no transport is attached
+        self.seq: Optional[int] = None
+        #: if set, this message is a delivery acknowledgement for the flow
+        #: ``(source coord, seq)`` it names (transport control traffic)
+        self.ack_for: Optional[tuple] = None
+        #: 0 for the original transmission, incremented per retransmission
+        self.attempt = 0
+
+    @property
+    def is_control(self) -> bool:
+        """True for transport control traffic (ACKs) that should not count
+        toward the paper's delivered-message metrics."""
+        return self.ack_for is not None
 
     @property
     def latency(self) -> int:

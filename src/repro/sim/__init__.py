@@ -1,7 +1,7 @@
 """Flit-level wormhole network simulator."""
 
 from .config import SimulationConfig
-from .deadlock import DeadlockError
+from .deadlock import DeadlockError, StuckWorm, stuck_worm_report, stuck_worm_snapshot
 from .engine import Simulator
 from .metrics import SimulationResult, batch_means_ci
 from .network import SimNetwork
@@ -25,6 +25,7 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "StuckWorm",
     "TrafficPattern",
     "TransposeTraffic",
     "UniformTraffic",
@@ -34,5 +35,7 @@ __all__ = [
     "make_traffic",
     "run_point",
     "saturation_utilization",
+    "stuck_worm_report",
+    "stuck_worm_snapshot",
     "sweep_rates",
 ]

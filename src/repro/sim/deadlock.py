@@ -9,35 +9,109 @@ flight, the run aborts with a diagnostic snapshot of the stuck worms.
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class StuckWorm:
+    """One allocated virtual channel in a deadlock snapshot."""
+
+    channel: str
+    vc_class: int
+    msg_id: int
+    src: tuple
+    dst: tuple
+    received: int
+    sent: int
+    length: int
+    misrouted: bool
+
+    def describe(self) -> str:
+        return (
+            f"  {self.channel} class c{self.vc_class}: "
+            f"msg#{self.msg_id} {self.src}->{self.dst} "
+            f"(received {self.received}, sent {self.sent} of {self.length}, "
+            f"misrouted={self.misrouted})"
+        )
 
 
 class DeadlockError(RuntimeError):
     """No flit made progress for the configured number of cycles while
-    messages were still in flight."""
+    messages were still in flight.
 
-    def __init__(self, cycle: int, report: str):
-        super().__init__(f"network deadlocked by cycle {cycle}:\n{report}")
+    Carries structured data for programmatic inspection: ``cycle``, the
+    ``worms`` snapshot (a list of :class:`StuckWorm` records, possibly
+    truncated — compare against ``total_busy``), and the formatted
+    ``report`` string.
+    """
+
+    def __init__(
+        self,
+        cycle: int,
+        report: Optional[str] = None,
+        *,
+        worms: Optional[List[StuckWorm]] = None,
+        total_busy: Optional[int] = None,
+    ):
         self.cycle = cycle
+        self.worms: List[StuckWorm] = list(worms) if worms else []
+        self.total_busy = total_busy if total_busy is not None else len(self.worms)
+        if report is None:
+            report = format_stuck_worms(self.worms, self.total_busy)
         self.report = report
+        super().__init__(f"network deadlocked by cycle {cycle}:\n{report}")
+
+    @property
+    def truncated(self) -> bool:
+        """True when the snapshot holds fewer worms than were stuck."""
+        return len(self.worms) < self.total_busy
 
 
-def stuck_worm_report(channels, limit: int = 20) -> str:
-    """Human-readable snapshot of allocated virtual channels for deadlock
-    diagnostics."""
-    lines: List[str] = []
+def stuck_worm_snapshot(channels, limit: int = 20) -> Tuple[List[StuckWorm], int]:
+    """Collect up to ``limit`` stuck-worm records plus the total number of
+    busy virtual channels (so callers can tell whether the snapshot was
+    truncated)."""
+    worms: List[StuckWorm] = []
+    total = 0
     for channel in channels:
         for vc in channel.busy:
             message = vc.message
             if message is None:
                 continue
-            lines.append(
-                f"  {channel.name or channel.kind.value} class c{vc.vc_class}: "
-                f"msg#{message.msg_id} {message.src}->{message.dst} "
-                f"(received {vc.received}, sent {vc.sent} of {message.length}, "
-                f"misrouted={message.route.is_misrouted})"
-            )
-            if len(lines) >= limit:
-                lines.append(f"  ... ({sum(len(c.busy) for c in channels)} busy VCs total)")
-                return "\n".join(lines)
-    return "\n".join(lines) if lines else "  (no busy virtual channels found)"
+            total += 1
+            if len(worms) < limit:
+                worms.append(
+                    StuckWorm(
+                        channel=channel.name or channel.kind.value,
+                        vc_class=vc.vc_class,
+                        msg_id=message.msg_id,
+                        src=message.src,
+                        dst=message.dst,
+                        received=vc.received,
+                        sent=vc.sent,
+                        length=message.length,
+                        misrouted=message.route.is_misrouted,
+                    )
+                )
+    return worms, total
+
+
+def format_stuck_worms(worms: List[StuckWorm], total_busy: int) -> str:
+    """Human-readable rendering of a snapshot, noting truncation."""
+    if not worms:
+        return "  (no busy virtual channels found)"
+    lines = [worm.describe() for worm in worms]
+    if total_busy > len(worms):
+        lines.append(
+            f"  ... snapshot truncated: showing {len(worms)} of "
+            f"{total_busy} busy VCs total"
+        )
+    return "\n".join(lines)
+
+
+def stuck_worm_report(channels, limit: int = 20) -> str:
+    """Human-readable snapshot of allocated virtual channels for deadlock
+    diagnostics."""
+    worms, total = stuck_worm_snapshot(channels, limit)
+    return format_stuck_worms(worms, total)

@@ -28,14 +28,14 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set
+from typing import Callable, Deque, Dict, List, Optional, Set
 
 from ..router.channels import ChannelKind, VirtualChannel
 from ..router.messages import Message
 from ..router.modules import Module
 from ..topology import Coord, is_bisection_message
 from .config import SimulationConfig
-from .deadlock import DeadlockError, stuck_worm_report
+from .deadlock import DeadlockError, stuck_worm_snapshot
 from .metrics import SimulationResult, batch_means_ci
 from .network import SimNetwork
 from .traffic import make_traffic
@@ -66,7 +66,28 @@ class Simulator:
         self.queues: Dict[Coord, Deque[Message]] = {c: deque() for c in self.net.healthy}
         self.outstanding: Dict[Coord, int] = {c: 0 for c in self.net.healthy}
         self._active_sources: Set[Coord] = set()
-        self._modules_waiting: Set[Module] = set()
+        # insertion-ordered (a set of Modules would iterate in id() order,
+        # which varies run to run and breaks bit-for-bit determinism of
+        # the arbitration when two modules race for one downstream VC)
+        self._modules_waiting: Dict[Module, None] = {}
+
+        #: optional end-to-end reliability layer (attached by
+        #: :class:`repro.reliability.ReliableTransport`)
+        self.reliability = None
+        #: called with each consumed Message (after transport processing)
+        self.delivery_hooks: List[Callable[[Message], None]] = []
+        #: called once per runtime fault event with
+        #: ``(report, dead_nodes, killed_messages)``
+        self.fault_hooks: List[Callable] = []
+        #: called with ``now`` at the start of every cycle
+        self.cycle_hooks: List[Callable[[int], None]] = []
+
+        # survivability accounting (cumulative over the whole run, not
+        # reset at the warmup boundary: fault events are rare, discrete
+        # incidents rather than steady-state samples)
+        self.fault_events = 0
+        self.killed_in_flight = 0
+        self.killed_queued = 0
 
         # statistics (reset at the warmup boundary)
         self.generated = 0
@@ -103,6 +124,11 @@ class Simulator:
 
     def step(self) -> None:
         now = self.now
+        if self.reliability is not None:
+            self.reliability.on_cycle(now)
+        if self.cycle_hooks:
+            for hook in self.cycle_hooks:
+                hook(now)
         self._generate(now)
         self._inject(now)
         progress = self._allocate(now)
@@ -110,7 +136,8 @@ class Simulator:
         if progress:
             self._last_progress = now
         elif self.in_flight > 0 and now - self._last_progress >= self.config.deadlock_threshold:
-            raise DeadlockError(now, stuck_worm_report(self.net.channels))
+            worms, total = stuck_worm_snapshot(self.net.channels)
+            raise DeadlockError(now, worms=worms, total_busy=total)
         self.now = now + 1
 
     # ------------------------------------------------------------------
@@ -124,6 +151,7 @@ class Simulator:
         length = self.config.message_length
         topology = self.net.topology
         routing = self.net.routing
+        reliability = self.reliability
         for coord in self.net.healthy:
             if rng_random() >= rate:
                 continue
@@ -142,6 +170,8 @@ class Simulator:
             )
             self.queues[coord].append(message)
             self._active_sources.add(coord)
+            if reliability is not None:
+                reliability.on_generated(message)
             if self._measuring:
                 self.generated += 1
 
@@ -158,6 +188,43 @@ class Simulator:
             self.now,
             is_bisection_message(src, dst, self.net.topology),
         )
+        self.queues[src].append(message)
+        self._active_sources.add(src)
+        if self.reliability is not None:
+            self.reliability.on_generated(message)
+        return message
+
+    def enqueue_message(
+        self,
+        src: Coord,
+        dst: Coord,
+        *,
+        length: Optional[int] = None,
+        protocol: int = 0,
+        seq: Optional[int] = None,
+        ack_for=None,
+        attempt: int = 0,
+    ) -> Message:
+        """Queue a message on behalf of the transport layer (ACKs and
+        retransmissions).  Unlike :meth:`inject_message` it is never
+        reported to the reliability tracker as a fresh flow and never
+        counted as generated traffic."""
+        if src not in self.queues:
+            raise ValueError(f"cannot enqueue at faulty node {src}")
+        self._msg_counter += 1
+        message = Message(
+            self._msg_counter,
+            src,
+            dst,
+            length if length is not None else self.config.message_length,
+            self.net.routing.initial_state(src, dst),
+            self.now,
+            is_bisection_message(src, dst, self.net.topology),
+            protocol=protocol,
+        )
+        message.seq = seq
+        message.ack_for = ack_for
+        message.attempt = attempt
         self.queues[src].append(message)
         self._active_sources.add(src)
         return message
@@ -245,7 +312,7 @@ class Simulator:
             if not waiting:
                 finished.append(module)
         for module in finished:
-            self._modules_waiting.discard(module)
+            self._modules_waiting.pop(module, None)
         return progress
 
     # ------------------------------------------------------------------
@@ -298,7 +365,7 @@ class Simulator:
                         if module is not None:
                             module.waiting.append(vc)
                             vc.waiting_route = True
-                            waiting_set.add(module)
+                            waiting_set[module] = None
                     if (
                         not message.exited_source
                         and kind is internode
@@ -318,8 +385,17 @@ class Simulator:
     # ------------------------------------------------------------------
     def _on_consumed(self, message: Message) -> None:
         self.in_flight -= 1
-        if self.config.request_reply and message.protocol == 0:
+        if self.config.request_reply and message.protocol == 0 and not message.is_control:
             self._send_reply(message)
+        if self.reliability is not None:
+            self.reliability.on_consumed(message)
+        if self.delivery_hooks:
+            for hook in self.delivery_hooks:
+                hook(message)
+        if message.is_control:
+            # transport ACKs ride the network but are overhead, not
+            # workload: keep them out of the paper's delivered metrics
+            return
         if not self._measuring:
             return
         self.delivered += 1
@@ -353,6 +429,8 @@ class Simulator:
         )
         self.queues[request.dst].append(reply)
         self._active_sources.add(request.dst)
+        if self.reliability is not None:
+            self.reliability.on_generated(reply)
         if self._measuring:
             self.generated += 1
 
@@ -404,7 +482,33 @@ class Simulator:
             in_flight_at_end=self.in_flight,
             batch_flits=[flits / batch_len for flits in self._batch_flits],
             batch_latency=batch_latencies,
+            **self._survivability_fields(),
         )
+
+    def _survivability_fields(self) -> dict:
+        """Survivability metrics for :class:`SimulationResult` — engine
+        counters plus (when a transport is attached) end-to-end delivery
+        accounting from the reliability layer."""
+        fields = dict(
+            fault_events=self.fault_events,
+            killed_in_flight=self.killed_in_flight,
+            killed_queued=self.killed_queued,
+            lost_messages=self.killed_in_flight + self.killed_queued,
+        )
+        rel = self.reliability
+        if rel is not None:
+            stats = rel.stats
+            fields.update(
+                reliability_enabled=True,
+                lost_messages=stats.lost,
+                unique_delivered=stats.unique_delivered,
+                retransmitted_messages=stats.retransmissions,
+                duplicate_messages=stats.duplicates,
+                acks_sent=stats.acks_sent,
+                timeouts_fired=stats.timeouts,
+                recovery_cycles=rel.recovery_times(),
+            )
+        return fields
 
     # ------------------------------------------------------------------
     def inject_runtime_fault(self, *, nodes=(), links=()):
@@ -417,14 +521,21 @@ class Simulator:
     # ------------------------------------------------------------------
     def drain(self, max_cycles: int = 500_000) -> None:
         """Run with generation disabled until every queued/in-flight
-        message is delivered (integration-test helper)."""
+        message is delivered — and, when a reliability layer is attached,
+        until every tracked flow is acknowledged, aborted or given up
+        (pending retransmission timers keep the clock running)."""
         saved_rate = self.config.rate
         self.config.rate = 0.0
         try:
             for _ in range(max_cycles):
-                if self.in_flight == 0 and not any(self.queues[c] for c in self._active_sources):
+                if (
+                    self.in_flight == 0
+                    and not any(self.queues[c] for c in self._active_sources)
+                    and (self.reliability is None or self.reliability.quiescent)
+                ):
                     return
                 self.step()
-            raise DeadlockError(self.now, stuck_worm_report(self.net.channels))
+            worms, total = stuck_worm_snapshot(self.net.channels)
+            raise DeadlockError(self.now, worms=worms, total_busy=total)
         finally:
             self.config.rate = saved_rate

@@ -86,6 +86,40 @@ class SimulationResult:
     batch_flits: List[float] = field(default_factory=list, repr=False)
     batch_latency: List[float] = field(default_factory=list, repr=False)
 
+    # --- survivability (runtime faults and the reliability layer) ------
+    #: runtime fault events injected over the whole run
+    fault_events: int = 0
+    #: worms truncated in transit by fault events
+    killed_in_flight: int = 0
+    #: queued messages dropped by fault events (dead source/destination)
+    killed_queued: int = 0
+    #: messages that were never delivered: with a reliability layer, the
+    #: flows it aborted or gave up on; without one, everything killed
+    lost_messages: int = 0
+    #: True when a :class:`repro.reliability.ReliableTransport` ran
+    reliability_enabled: bool = False
+    #: distinct messages delivered at least once (duplicates suppressed)
+    unique_delivered: int = 0
+    #: retransmitted copies injected by the transport
+    retransmitted_messages: int = 0
+    #: deliveries suppressed as duplicates at the sink
+    duplicate_messages: int = 0
+    #: delivery acknowledgements sent by sinks
+    acks_sent: int = 0
+    #: retransmissions triggered by timer expiry (vs. fault notification)
+    timeouts_fired: int = 0
+    #: time-to-recover per fault event, in cycles (events whose killed
+    #: flows were all re-delivered or resolved; see the campaign runner)
+    recovery_cycles: List[int] = field(default_factory=list, repr=False)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Unique deliveries over tracked generated messages (1.0 means
+        exactly-once delivery of everything; requires the reliability
+        layer for the numerator to be meaningful)."""
+        tracked = self.unique_delivered + self.lost_messages
+        return self.unique_delivered / tracked if tracked else 0.0
+
     @property
     def applied_load_flits_per_node(self) -> float:
         """Offered load in flits per node per cycle."""

@@ -110,7 +110,8 @@ def apply_runtime_fault(
     for message in victims:
         _kill_worm(simulator, message)
 
-    dropped_queued = _drop_queued(simulator, dead_nodes)
+    dropped_messages = _drop_queued(simulator, dead_nodes)
+    dropped_queued = len(dropped_messages)
 
     # ------------------------------------------------------------------
     # rebuild static structures
@@ -146,17 +147,17 @@ def apply_runtime_fault(
             vc.cached_resolution = None
 
     # the traffic pattern must stop targeting dead nodes
-    simulator.traffic.healthy = list(net.healthy)
-    simulator.traffic.healthy_set = set(net.healthy)
+    simulator.traffic.retarget(net.healthy)
 
-    # drop stale arbitration state owned by removed modules
+    # drop stale arbitration state owned by removed modules (dict, not
+    # set: arbitration order must stay insertion-ordered / deterministic)
     simulator._modules_waiting = {
-        module
+        module: None
         for module in simulator._modules_waiting
         if module.waiting and module.node_coord not in dead_nodes
     }
 
-    return ReconfigurationReport(
+    report = ReconfigurationReport(
         cycle=simulator.now,
         new_node_faults=tuple(sorted(dead_nodes)),
         new_link_faults=tuple(sorted(dead_links - _incident_links(topology, dead_nodes))),
@@ -165,6 +166,22 @@ def apply_runtime_fault(
         channels_removed=len(dying_channels),
         lost_message_ids=lost_ids,
     )
+
+    # ------------------------------------------------------------------
+    # report the damage to the survivability accounting and any recovery
+    # layer (the paper leaves retransmission to "higher-level protocols";
+    # repro.reliability is that protocol)
+    # ------------------------------------------------------------------
+    simulator.fault_events += 1
+    simulator.killed_in_flight += len(victims)
+    simulator.killed_queued += dropped_queued
+    killed = sorted(victims, key=lambda m: m.msg_id) + dropped_messages
+    if simulator.reliability is not None:
+        simulator.reliability.on_fault(report, dead_nodes, killed)
+    for hook in simulator.fault_hooks:
+        hook(report, dead_nodes, killed)
+
+    return report
 
 
 # ----------------------------------------------------------------------
@@ -207,21 +224,25 @@ def _kill_worm(simulator, message: Message) -> None:
             simulator.outstanding[message.src] -= 1
 
 
-def _drop_queued(simulator, dead_nodes) -> int:
+def _drop_queued(simulator, dead_nodes) -> List[Message]:
     """Drop generated-but-not-injected messages at dead sources and those
-    addressed to dead destinations."""
-    dropped = 0
+    addressed to dead destinations; returns the dropped messages so the
+    reliability layer can be told what it must recover."""
+    dropped: List[Message] = []
     for coord, queue in simulator.queues.items():
         if coord in dead_nodes:
-            dropped += len(queue)
+            dropped.extend(queue)
             queue.clear()
             continue
         keep = [m for m in queue if m.dst not in dead_nodes]
-        dropped += len(queue) - len(keep)
-        queue.clear()
-        queue.extend(keep)
+        if len(keep) != len(queue):
+            dropped.extend(m for m in queue if m.dst in dead_nodes)
+            queue.clear()
+            queue.extend(keep)
     for coord in dead_nodes:
         simulator._active_sources.discard(coord)
+        del simulator.queues[coord]
+        del simulator.outstanding[coord]
     return dropped
 
 

@@ -36,6 +36,13 @@ class TrafficPattern:
     def destination(self, src: Coord) -> Optional[Coord]:
         raise NotImplementedError
 
+    def retarget(self, healthy: Sequence[Coord]) -> None:
+        """Update the healthy-node view after a runtime fault event so the
+        pattern stops targeting dead nodes.  Subclasses with extra state
+        derived from the node set override this (calling super())."""
+        self.healthy = list(healthy)
+        self.healthy_set = set(healthy)
+
 
 class UniformTraffic(TrafficPattern):
     """Uniform random destinations over the healthy nodes (the paper's
@@ -109,6 +116,11 @@ class HotspotTraffic(TrafficPattern):
             hotspot = self.healthy[0]
         self.hotspot = hotspot
         self.fraction = fraction
+
+    def retarget(self, healthy: Sequence[Coord]) -> None:
+        super().retarget(healthy)
+        if self.hotspot not in self.healthy_set and self.healthy:
+            self.hotspot = self.healthy[0]
 
     def destination(self, src: Coord) -> Optional[Coord]:
         if self.rng.random() < self.fraction and src != self.hotspot:

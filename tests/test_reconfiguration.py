@@ -127,3 +127,56 @@ class TestTrafficContinuity:
             sim.step()
         sim.drain()
         assert sim.in_flight == 0
+
+
+class TestRuntimeFaultEdgeCases:
+    def test_injection_at_cycle_zero(self):
+        sim = running_sim(rate=0.01, cycles=0)
+        report = sim.inject_runtime_fault(nodes=[(4, 4)])
+        assert sim.now == 0
+        assert report.cycle == 0
+        assert report.dropped_in_flight == 0 and report.dropped_queued == 0
+        for _ in range(300):
+            sim.step()
+        sim.drain()
+        assert sim.in_flight == 0
+
+    def test_back_to_back_injections_same_cycle(self):
+        sim = running_sim(rate=0.015)
+        first = sim.inject_runtime_fault(nodes=[(2, 2)])
+        second = sim.inject_runtime_fault(nodes=[(6, 6)])
+        assert first.cycle == second.cycle == sim.now
+        assert len(sim.net.scenario.ring_index.rings) == 2
+        assert sim.fault_events == 2
+        sim.drain()
+        assert sim.in_flight == 0
+
+    def test_mid_misroute_message_is_killed(self):
+        # a worm caught while detouring around one fault region is a
+        # victim of the next event, wherever that event lands: its ring
+        # geometry may have changed under it
+        sim = running_sim(rate=0.0, cycles=0)
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        message = sim.inject_message((2, 4), (6, 4))
+        steps = 0
+        while not (message.route.is_misrouted and message.consumed_cycle is None):
+            sim.step()
+            steps += 1
+            assert steps < 300, "message never started misrouting"
+        report = sim.inject_runtime_fault(nodes=[(0, 0)])
+        assert message.msg_id in report.lost_message_ids
+        sim.drain()
+        assert message.consumed_cycle is None  # gone for good: no transport
+        assert sim.killed_in_flight >= 1
+
+    def test_survivability_counters_accumulate(self):
+        sim = running_sim(rate=0.03)
+        report = sim.inject_runtime_fault(nodes=[(4, 4)])
+        assert sim.fault_events == 1
+        assert sim.killed_in_flight == report.dropped_in_flight
+        assert sim.killed_queued == report.dropped_queued
+        sim.drain()
+        result = sim._result()
+        assert result.fault_events == 1
+        assert not result.reliability_enabled
+        assert result.lost_messages == result.killed_in_flight + result.killed_queued

@@ -1,0 +1,199 @@
+"""Tests for fault campaigns: events, seeded generators, the campaign
+runner and the determinism guarantee."""
+
+import pytest
+
+from repro.analysis import campaign_table, survivability_summary
+from repro.reliability import (
+    FaultCampaign,
+    FaultEvent,
+    ReliabilityConfig,
+    ReliableTransport,
+    run_campaign,
+)
+from repro.sim import SimulationConfig, Simulator
+
+
+def make_sim(rate=0.01, radix=8, seed=5, **kwargs):
+    base = dict(
+        topology="torus", radix=radix, dims=2, rate=rate,
+        warmup_cycles=0, measure_cycles=10, seed=seed,
+    )
+    base.update(kwargs)
+    return Simulator(SimulationConfig(**base))
+
+
+class TestFaultEvent:
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1, nodes=((0, 0),))
+
+    def test_empty_event_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(100)
+
+    def test_describe_uses_label_or_contents(self):
+        assert FaultEvent(1, nodes=((0, 0),), label="boom").describe() == "boom"
+        text = FaultEvent(1, nodes=((0, 0),), links=(((1, 1), 0, 1),)).describe()
+        assert "nodes" in text and "links" in text
+
+
+class TestFaultCampaign:
+    def test_events_sorted_by_cycle(self):
+        campaign = FaultCampaign(
+            [FaultEvent(500, nodes=((1, 1),)), FaultEvent(100, nodes=((6, 6),))]
+        )
+        assert [e.cycle for e in campaign] == [100, 500]
+        assert len(campaign) == 2
+        assert campaign.horizon == 500
+
+    def test_empty_campaign(self):
+        campaign = FaultCampaign([])
+        assert len(campaign) == 0
+        assert campaign.horizon == 0
+
+
+class TestSeededGenerators:
+    def topology(self):
+        return make_sim().net.topology
+
+    def test_rolling_deterministic_per_seed(self):
+        topo = self.topology()
+        a = FaultCampaign.rolling(topo, count=4, seed=3, kind="mixed")
+        b = FaultCampaign.rolling(topo, count=4, seed=3, kind="mixed")
+        c = FaultCampaign.rolling(topo, count=4, seed=4, kind="mixed")
+        assert list(a) == list(b)
+        assert list(a) != list(c)
+
+    def test_rolling_kind_validation(self):
+        with pytest.raises(ValueError):
+            FaultCampaign.rolling(self.topology(), kind="meteor")
+
+    def test_rolling_link_kind_produces_links(self):
+        campaign = FaultCampaign.rolling(self.topology(), count=3, seed=1, kind="link")
+        assert len(campaign) == 3
+        assert all(e.links and not e.nodes for e in campaign)
+
+    def test_rolling_events_spaced_by_interval(self):
+        campaign = FaultCampaign.rolling(
+            self.topology(), count=3, start=200, interval=300, seed=0
+        )
+        assert [e.cycle for e in campaign] == [200, 500, 800]
+
+    def test_bursts_kill_square_blocks(self):
+        campaign = FaultCampaign.bursts(self.topology(), bursts=2, burst_size=2, seed=2)
+        assert len(campaign) == 2
+        assert all(len(e.nodes) == 4 for e in campaign)
+
+    def test_fail_then_grow_adds_fresh_cells_only(self):
+        campaign = FaultCampaign.fail_then_grow(
+            self.topology(), steps=3, start=1000, interval=1500, seed=1
+        )
+        # the region grows 1 -> 4 -> 9 nodes; each event carries only the
+        # newly dead cells
+        assert [len(e.nodes) for e in campaign] == [1, 3, 5]
+        assert [e.cycle for e in campaign] == [1000, 2500, 4000]
+
+    def test_fail_then_grow_bounds_growth(self):
+        with pytest.raises(ValueError):
+            FaultCampaign.fail_then_grow(self.topology(), steps=7)
+
+    def test_generated_events_inject_cleanly_in_order(self):
+        # the generators pre-validate against the cumulative fault set, so
+        # replaying the timeline must never trip the fault model
+        sim = make_sim()
+        for _ in range(100):
+            sim.step()
+        campaign = FaultCampaign.rolling(sim.net.topology, count=4, seed=3, kind="mixed")
+        for event in campaign:
+            sim.inject_runtime_fault(nodes=event.nodes, links=event.links)
+        sim.drain()
+        assert sim.fault_events == len(campaign)
+
+
+class TestRunCampaign:
+    def scripted(self):
+        return FaultCampaign(
+            [
+                FaultEvent(300, nodes=((4, 4),), label="first"),
+                FaultEvent(500, nodes=((5, 6),), label="overlaps first ring"),
+                FaultEvent(700, nodes=((0, 0),), label="third"),
+            ]
+        )
+
+    def test_rejected_event_recorded_and_campaign_continues(self):
+        sim = make_sim()
+        outcome = run_campaign(sim, self.scripted(), settle_cycles=200)
+        assert [r.applied for r in outcome.records] == [True, False, True]
+        assert outcome.applied_events == 2
+        rejected = outcome.records[1]
+        assert rejected.error
+        assert rejected.report is None
+        assert outcome.drained
+        assert sim.in_flight == 0
+
+    def test_epochs_and_reports(self):
+        sim = make_sim()
+        outcome = run_campaign(sim, self.scripted(), settle_cycles=200)
+        assert outcome.baseline is not None
+        assert outcome.baseline.delivered > 0
+        for record in outcome.records:
+            if record.applied:
+                assert record.report is not None
+                assert record.epoch is not None
+        ratio = outcome.degraded_throughput_ratio
+        assert ratio is not None and ratio > 0.0
+
+    def test_recovery_times_filled_with_transport(self):
+        sim = make_sim()
+        ReliableTransport(sim, ReliabilityConfig(timeout=300))
+        outcome = run_campaign(sim, self.scripted(), settle_cycles=200)
+        assert outcome.stats is not None
+        for record in outcome.records:
+            if record.applied:
+                assert record.time_to_recover is not None
+                assert record.time_to_recover >= 0
+        assert outcome.stats.exactly_once or outcome.stats.aborted > 0
+
+    def test_report_rendering(self):
+        sim = make_sim()
+        ReliableTransport(sim, ReliabilityConfig(timeout=300))
+        outcome = run_campaign(sim, self.scripted(), settle_cycles=200)
+        table = campaign_table(outcome)
+        assert "baseline" in table
+        assert "REJECTED" in table
+        summary = survivability_summary(outcome)
+        assert "exactly-once delivery" in summary
+
+    def test_empty_campaign_still_measures(self):
+        sim = make_sim()
+        outcome = run_campaign(sim, FaultCampaign([]), settle_cycles=300)
+        assert outcome.records == []
+        assert outcome.baseline is not None
+        assert outcome.baseline.delivered > 0
+
+
+class TestDeterminism:
+    def run_once(self):
+        sim = make_sim(rate=0.012, seed=5)
+        ReliableTransport(sim, ReliabilityConfig(timeout=400))
+        campaign = FaultCampaign.rolling(
+            sim.net.topology, count=3, start=300, interval=400, seed=9, kind="mixed"
+        )
+        outcome = run_campaign(sim, campaign, settle_cycles=300)
+        return sim, outcome
+
+    def test_identical_seed_reproduces_everything(self):
+        sim_a, outcome_a = self.run_once()
+        sim_b, outcome_b = self.run_once()
+        result_a, result_b = sim_a._result(), sim_b._result()
+        assert result_a.to_json() == result_b.to_json()
+        assert [r.cycle for r in outcome_a.records] == [r.cycle for r in outcome_b.records]
+        assert [r.applied for r in outcome_a.records] == [
+            r.applied for r in outcome_b.records
+        ]
+        assert [
+            r.report.lost_message_ids for r in outcome_a.records if r.applied
+        ] == [r.report.lost_message_ids for r in outcome_b.records if r.applied]
+        assert result_a.recovery_cycles == result_b.recovery_cycles
+        assert sim_a.now == sim_b.now

@@ -170,6 +170,66 @@ class TestWatchdog:
         except Exception:
             pytest.fail("expected clean DeadlockError handling")
 
+    def test_error_carries_structured_snapshot(self):
+        config = quiet_config(deadlock_threshold=50)
+        sim = Simulator(config)
+        message = sim.inject_message((0, 0), (4, 0))
+        sim.step()
+        with pytest.raises(DeadlockError) as excinfo:
+            for _ in range(200):
+                for channel in sim.net.channels:
+                    for vc in channel.vcs:
+                        vc.eligible.clear()
+                        if vc.message is not None:
+                            vc.received = max(vc.received, 1)
+                sim.step()
+        error = excinfo.value
+        assert error.cycle > 0
+        assert error.worms, "snapshot must name the stuck worms"
+        worm = error.worms[0]
+        assert worm.msg_id == message.msg_id
+        assert (worm.src, worm.dst) == ((0, 0), (4, 0))
+        assert error.total_busy >= len(error.worms)
+        assert not error.truncated
+        assert f"msg#{message.msg_id}" in error.report
+        assert str(error.cycle) in str(error)
+
+
+class TestDeadlockSnapshot:
+    def busy_channels(self):
+        sim = Simulator(quiet_config(rate=0.05))
+        for _ in range(300):
+            sim.step()
+        return sim.net.channels
+
+    def test_snapshot_truncation_is_reported(self):
+        from repro.sim import stuck_worm_snapshot
+        from repro.sim.deadlock import format_stuck_worms
+
+        channels = self.busy_channels()
+        worms, total = stuck_worm_snapshot(channels, limit=2)
+        assert len(worms) == 2
+        assert total > 2
+        report = format_stuck_worms(worms, total)
+        assert "snapshot truncated" in report
+        assert f"showing 2 of {total}" in report
+
+    def test_untruncated_snapshot_has_no_note(self):
+        from repro.sim import stuck_worm_snapshot
+        from repro.sim.deadlock import format_stuck_worms
+
+        channels = self.busy_channels()
+        worms, total = stuck_worm_snapshot(channels, limit=10_000)
+        assert len(worms) == total
+        assert "snapshot truncated" not in format_stuck_worms(worms, total)
+
+    def test_legacy_string_report_still_accepted(self):
+        error = DeadlockError(42, "  custom diagnostic")
+        assert error.cycle == 42
+        assert error.report == "  custom diagnostic"
+        assert error.worms == []
+        assert not error.truncated
+
 
 class TestBisectionAccounting:
     def test_bisection_messages_counted(self):
