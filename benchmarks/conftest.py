@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import Experiment
 from repro.experiments.settings import get_scale
-from repro.sim import SimulationConfig, Simulator, sweep_rates
+from repro.sim import SimulationConfig, Simulator
 from repro.sim.runner import saturation_utilization
 
 
@@ -37,9 +38,14 @@ def scenario_config(topology: str, percent: int, scale, **kwargs) -> SimulationC
     return SimulationConfig(**defaults)
 
 
+def sweep(base: SimulationConfig, rates):
+    # benchmarks time the simulation itself: serial, no memoization
+    return list(Experiment.sweep(base, rates).run(cache=False))
+
+
 def run_sweep(topology: str, percent: int, scale, **kwargs):
     base = scenario_config(topology, percent, scale, **kwargs)
-    return sweep_rates(base, scale.rate_grids[percent])
+    return sweep(base, scale.rate_grids[percent])
 
 
 def peak(results) -> float:

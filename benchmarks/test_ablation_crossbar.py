@@ -10,9 +10,8 @@ small.
 import pytest
 
 from repro.sim.runner import saturation_utilization
-from repro.sim import sweep_rates
 
-from .conftest import run_one, scenario_config
+from .conftest import run_one, scenario_config, sweep
 
 
 @pytest.fixture(scope="module")
@@ -20,7 +19,7 @@ def organization_sweeps(scale):
     sweeps = {}
     for model in ("pdr", "crossbar"):
         base = scenario_config("torus", 1, scale, router_model=model)
-        sweeps[model] = sweep_rates(base, scale.rate_grids[1])
+        sweeps[model] = sweep(base, scale.rate_grids[1])
     return sweeps
 
 

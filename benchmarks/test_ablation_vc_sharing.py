@@ -9,10 +9,9 @@ congestion."  Disabling the sharing should cost fault-free throughput.
 
 import pytest
 
-from repro.sim import sweep_rates
 from repro.sim.runner import saturation_utilization
 
-from .conftest import run_one, scenario_config
+from .conftest import run_one, scenario_config, sweep
 
 
 @pytest.fixture(scope="module")
@@ -20,7 +19,7 @@ def sharing_sweeps(scale):
     sweeps = {}
     for share in (True, False):
         base = scenario_config("torus", 0, scale, share_idle_vcs=share)
-        sweeps[share] = sweep_rates(base, scale.rate_grids[0])
+        sweeps[share] = sweep(base, scale.rate_grids[0])
     return sweeps
 
 

@@ -11,10 +11,9 @@ bytes/second.
 import pytest
 
 from repro.router import PIPELINED, UNPIPELINED, UNPIPELINED_SLOW_CLOCK
-from repro.sim import sweep_rates
 from repro.sim.runner import saturation_utilization
 
-from .conftest import scenario_config
+from .conftest import scenario_config, sweep
 
 
 @pytest.fixture(scope="module")
@@ -22,7 +21,7 @@ def pipeline_sweeps(scale):
     sweeps = {}
     for timing in (PIPELINED, UNPIPELINED):
         base = scenario_config("mesh", 0, scale, timing=timing)
-        sweeps[timing.name] = sweep_rates(base, scale.rate_grids[0])
+        sweeps[timing.name] = sweep(base, scale.rate_grids[0])
     return sweeps
 
 

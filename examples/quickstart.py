@@ -4,12 +4,15 @@
 Builds an 8x8 torus with the paper's "1% faults" scenario (one node and
 one link fault), runs uniform traffic through the flit-level simulator,
 and reports the two metrics of the paper: average message latency and
-bisection utilization.
+bisection utilization.  A second section sweeps the injection rate
+through the :class:`repro.Experiment` facade — the entry point for
+anything bigger than a single run, with worker-pool parallelism
+(``jobs=``) and on-disk memoization (``cache=``) built in.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import SimulationConfig, Simulator
+from repro import Experiment, SimulationConfig, Simulator
 
 
 def main() -> None:
@@ -47,6 +50,18 @@ def main() -> None:
     simulator.drain()
     print(f"\ndrained cleanly at cycle {simulator.now}: "
           f"{simulator.in_flight} messages left in flight")
+
+    # The same scenario as a latency-vs-load sweep.  jobs=0 uses one
+    # worker per CPU; cache=False forces fresh runs (drop it and repeat
+    # invocations are served from the on-disk result store).
+    print("\nlatency vs load (Experiment.sweep, one worker per CPU):")
+    sweep = Experiment.sweep(config, rates=[0.004, 0.008, 0.012])
+    results = sweep.run(jobs=0, cache=False)
+    for r in results:
+        print(f"  rate {r.rate:.3f}: latency {r.avg_latency:6.1f} cycles, "
+              f"rho_b {100 * r.bisection_utilization:4.1f}%")
+    print(f"peak utilization {100 * results.saturation_utilization():.1f}% "
+          f"({results.stats.describe()})")
 
 
 if __name__ == "__main__":

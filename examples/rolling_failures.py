@@ -8,7 +8,7 @@ flowing around the wreckage — "the existing fault-free nodes should be
 used productively" while the mean time to repair is large (Section 3).
 
 The failure timeline is a scripted :class:`repro.FaultCampaign` replayed
-by :func:`repro.run_campaign` — the same scheduler the library's
+by :func:`repro.replay_campaign` — the same scheduler the library's
 survivability experiments use — with the end-to-end reliability layer
 attached, so every truncated message whose endpoints survive is
 retransmitted and delivered exactly once (flows to or from dead nodes
@@ -24,7 +24,7 @@ from repro import (
     ReliableTransport,
     SimulationConfig,
     Simulator,
-    run_campaign,
+    replay_campaign,
 )
 from repro.analysis import campaign_table, survivability_summary
 
@@ -58,7 +58,7 @@ def main() -> None:
     ReliableTransport(sim, ReliabilityConfig(timeout=EPOCH // 2))
     print(f"{RADIX}x{RADIX} torus under continuous load; one failure event per epoch\n")
 
-    outcome = run_campaign(sim, CAMPAIGN, settle_cycles=EPOCH)
+    outcome = replay_campaign(sim, CAMPAIGN, settle_cycles=EPOCH)
 
     print(campaign_table(outcome))
     print()

@@ -15,16 +15,19 @@ The package implements, from scratch:
 * channel-dependency-graph analysis mechanizing the deadlock-freedom
   lemma (:mod:`repro.analysis`);
 * harnesses regenerating every figure of the evaluation
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* a parallel sweep executor with an on-disk result store
+  (:mod:`repro.exec`) behind the :class:`repro.api.Experiment` facade.
 
 Quickstart::
 
-    from repro import SimulationConfig, Simulator
+    from repro import Experiment, SimulationConfig
 
-    config = SimulationConfig(topology="torus", radix=16, dims=2,
-                              fault_percent=1, rate=0.005)
-    result = Simulator(config).run()
-    print(result.avg_latency, result.bisection_utilization)
+    base = SimulationConfig(topology="torus", radix=16, dims=2,
+                            fault_percent=1)
+    results = Experiment.sweep(base, rates=[0.002, 0.005, 0.009]).run(jobs=4)
+    for r in results:
+        print(r.avg_latency, r.bisection_utilization)
 """
 
 from .topology import BiLink, Coord, Direction, GridNetwork, Mesh, Torus, make_network
@@ -51,6 +54,7 @@ from .reliability import (
     ReliabilityConfig,
     ReliabilityStats,
     ReliableTransport,
+    replay_campaign,
     run_campaign,
 )
 from .sim import (
@@ -62,6 +66,8 @@ from .sim import (
     run_point,
     sweep_rates,
 )
+from .api import Experiment, ResultSet
+from .exec import ResultStore
 
 __version__ = "1.0.0"
 
@@ -74,6 +80,9 @@ __all__ = [
     "Decision",
     "Direction",
     "ECubeRouting",
+    "Experiment",
+    "ResultSet",
+    "ResultStore",
     "FaultCampaign",
     "FaultEvent",
     "FaultRing",
@@ -97,6 +106,7 @@ __all__ = [
     "generate_fault_pattern",
     "make_network",
     "paper_fault_scenario",
+    "replay_campaign",
     "run_campaign",
     "run_point",
     "sweep_rates",

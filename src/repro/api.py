@@ -1,0 +1,236 @@
+"""The unified experiment front door.
+
+One object — :class:`Experiment` — describes *what* to simulate (a
+single point, a rate sweep, a seed-replicated grid, or a fault-injection
+campaign), and one method — :meth:`Experiment.run` — decides *how*: how
+many worker processes (``jobs``) and whether the on-disk result store
+serves and records points (``cache``).  Results come back as a
+:class:`ResultSet` that keeps the per-task ordering, the campaign
+outcomes when there are any, and the execution accounting (cache hits,
+wall time).
+
+Quickstart::
+
+    from repro.api import Experiment
+    from repro import SimulationConfig
+
+    base = SimulationConfig(topology="torus", radix=16, fault_percent=1)
+    rs = Experiment.sweep(base, rates=[0.002, 0.004, 0.008]).run(jobs=4)
+    for r in rs:
+        print(r.row())
+    print(rs.stats.describe())          # "3 task(s): 2 cached, 1 executed ..."
+
+The legacy entry points (``repro.sim.run_point``, ``sweep_rates`` and
+``repro.reliability.run_campaign``) remain as thin deprecated wrappers
+over this module.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .exec.executor import (
+    CampaignReplay,
+    CampaignTask,
+    ExecutionStats,
+    PointTask,
+    ProgressEvent,
+    execute,
+)
+from .exec.store import ResultStore
+from .sim.config import SimulationConfig
+from .sim.metrics import SimulationResult
+from .sim.runner import saturation_utilization
+
+
+class ResultSet(Sequence[SimulationResult]):
+    """An ordered collection of simulation results plus provenance.
+
+    Indexing and iteration yield :class:`SimulationResult`\\ s in task
+    order.  For campaign experiments, :attr:`outcomes` holds the parallel
+    list of :class:`~repro.reliability.CampaignOutcome`\\ s (None for
+    plain points) and :attr:`descriptions` the per-task network
+    descriptions.
+    """
+
+    def __init__(
+        self,
+        results: Sequence[SimulationResult],
+        *,
+        stats: Optional[ExecutionStats] = None,
+        outcomes: Optional[Sequence[Any]] = None,
+        descriptions: Optional[Sequence[str]] = None,
+    ):
+        self.results: List[SimulationResult] = list(results)
+        self.stats = stats if stats is not None else ExecutionStats(total=len(self.results))
+        self.outcomes: List[Any] = list(outcomes) if outcomes is not None else [None] * len(
+            self.results
+        )
+        self.descriptions: List[str] = (
+            list(descriptions) if descriptions is not None else [""] * len(self.results)
+        )
+
+    # --- sequence protocol --------------------------------------------
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index) -> SimulationResult:
+        return self.results[index]
+
+    def __iter__(self) -> Iterator[SimulationResult]:
+        return iter(self.results)
+
+    # --- sweep helpers -------------------------------------------------
+    @property
+    def rates(self) -> List[float]:
+        return [r.rate for r in self.results]
+
+    def saturation_utilization(self) -> float:
+        """Peak bisection utilization over the set (the paper's headline
+        per-scenario number)."""
+        return saturation_utilization(self.results)
+
+    def best_throughput(self) -> SimulationResult:
+        return max(self.results, key=lambda r: r.throughput_flits_per_cycle)
+
+    def to_dicts(self) -> List[dict]:
+        return [r.to_dict() for r in self.results]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dicts(), sort_keys=True)
+
+    def rows(self) -> str:
+        return "\n".join(r.row() for r in self.results)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A declarative bundle of simulation work.
+
+    Build one with :meth:`point`, :meth:`sweep`, :meth:`from_configs` or
+    :meth:`campaign`; concatenate experiments with ``+`` to run
+    heterogeneous batches in one pool; then call :meth:`run`.
+    """
+
+    tasks: Tuple[Any, ...]
+    label: str = ""
+
+    # --- constructors --------------------------------------------------
+    @classmethod
+    def point(cls, config: SimulationConfig, *, label: str = "") -> "Experiment":
+        """One simulation point."""
+        return cls(tasks=(PointTask(config),), label=label)
+
+    @classmethod
+    def from_configs(
+        cls, configs: Sequence[SimulationConfig], *, label: str = ""
+    ) -> "Experiment":
+        """One point per explicit configuration, in order."""
+        return cls(tasks=tuple(PointTask(c) for c in configs), label=label)
+
+    @classmethod
+    def sweep(
+        cls,
+        base: SimulationConfig,
+        rates: Sequence[float],
+        *,
+        seeds: Optional[Sequence[int]] = None,
+        label: str = "",
+    ) -> "Experiment":
+        """The latency-vs-load axis behind Figures 8-10: ``base`` swept
+        across message-generation ``rates``.  With ``seeds``, every rate
+        is replicated per seed (rate-major order: all seeds of rate 0,
+        then rate 1, ...)."""
+        configs: List[SimulationConfig] = []
+        for rate in rates:
+            if seeds is None:
+                configs.append(replace(base, rate=rate))
+            else:
+                configs.extend(replace(base, rate=rate, seed=s) for s in seeds)
+        return cls.from_configs(configs, label=label)
+
+    @classmethod
+    def campaign(
+        cls,
+        config: SimulationConfig,
+        campaign,
+        *,
+        reliability=None,
+        settle_cycles: int = 1_000,
+        drain: bool = True,
+        label: str = "",
+    ) -> "Experiment":
+        """One fault-injection campaign replay: run ``config`` under the
+        given :class:`~repro.reliability.FaultCampaign`, with the
+        reliability transport attached when a
+        :class:`~repro.reliability.ReliabilityConfig` is provided."""
+        task = CampaignTask(
+            config=config,
+            campaign=campaign,
+            reliability=reliability,
+            settle_cycles=settle_cycles,
+            drain=drain,
+        )
+        return cls(tasks=(task,), label=label)
+
+    def __add__(self, other: "Experiment") -> "Experiment":
+        label = self.label if self.label == other.label else (
+            f"{self.label}+{other.label}".strip("+")
+        )
+        return Experiment(tasks=self.tasks + other.tasks, label=label)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def configs(self) -> List[SimulationConfig]:
+        return [task.config for task in self.tasks]
+
+    # --- execution -----------------------------------------------------
+    def run(
+        self,
+        *,
+        jobs: Optional[int] = 1,
+        cache: Union[bool, ResultStore, None] = True,
+        store: Optional[ResultStore] = None,
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
+        allow_failures: bool = False,
+    ) -> ResultSet:
+        """Execute every task and return a :class:`ResultSet`.
+
+        ``jobs`` — worker processes (1 = in-process; None/0 = one per
+        CPU).  ``cache`` — True uses the default on-disk store
+        (``$REPRO_RESULT_STORE`` or ``~/.cache/repro/results``), False
+        disables memoization, or pass a :class:`ResultStore` directly
+        (``store=`` is an alias that wins when given).  Campaign tasks
+        always execute; only plain points are memoized.
+        """
+        if store is None:
+            if isinstance(cache, ResultStore):
+                store = cache
+            elif cache:
+                store = ResultStore()
+        payloads, stats = execute(
+            self.tasks,
+            jobs=jobs,
+            store=store,
+            progress=progress,
+            allow_failures=allow_failures,
+        )
+        results: List[SimulationResult] = []
+        outcomes: List[Any] = []
+        descriptions: List[str] = []
+        for payload in payloads:
+            if isinstance(payload, CampaignReplay):
+                results.append(payload.result)
+                outcomes.append(payload.outcome)
+                descriptions.append(payload.network_description)
+            else:
+                results.append(payload)
+                outcomes.append(None)
+                descriptions.append("")
+        return ResultSet(
+            results, stats=stats, outcomes=outcomes, descriptions=descriptions
+        )

@@ -1,0 +1,43 @@
+"""Parallel experiment execution and on-disk result memoization.
+
+* :mod:`repro.exec.executor` — fan sweep points, seed replicates and
+  campaign replays out across a ``multiprocessing`` worker pool with
+  per-worker network reuse and graceful failure handling.
+* :mod:`repro.exec.store` — memoize :class:`SimulationResult`\\ s on disk
+  keyed by a content hash of the canonical configuration plus a
+  code-version tag.
+
+Most callers should use the :class:`repro.api.Experiment` facade rather
+than these primitives directly.
+"""
+
+from .executor import (
+    CampaignReplay,
+    CampaignTask,
+    ExecutionError,
+    ExecutionStats,
+    PointTask,
+    ProgressEvent,
+    TaskFailure,
+    execute,
+    resolve_jobs,
+    run_configs,
+)
+from .store import CODE_VERSION, STORE_ENV, ResultStore, default_store_root
+
+__all__ = [
+    "CODE_VERSION",
+    "CampaignReplay",
+    "CampaignTask",
+    "ExecutionError",
+    "ExecutionStats",
+    "PointTask",
+    "ProgressEvent",
+    "ResultStore",
+    "STORE_ENV",
+    "TaskFailure",
+    "default_store_root",
+    "execute",
+    "resolve_jobs",
+    "run_configs",
+]

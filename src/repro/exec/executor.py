@@ -1,0 +1,349 @@
+"""Parallel sweep execution over a ``multiprocessing`` worker pool.
+
+The workloads behind every figure are embarrassingly parallel: each
+sweep point, seed replicate, or campaign replay is an independent
+simulation fully determined by its configuration.  The executor fans a
+list of :class:`Task`\\ s out across worker processes and returns results
+in task order, with
+
+* **per-worker network construction** — each worker process builds a
+  :class:`~repro.sim.network.SimNetwork` at most once per network
+  signature and reuses it across the points it executes (reset between
+  runs), so parallel sweeps keep the cheap-amortized-build property of
+  the old serial ``sweep_rates`` loop without sharing any mutable state
+  across tasks;
+* **deterministic per-task seeding** — the executor adds no randomness;
+  every task's outcome is fixed by its config (``seed`` /
+  ``fault_seed``), so ``jobs=1`` and ``jobs=N`` are bit-for-bit
+  identical;
+* **memoization** — with a :class:`~repro.exec.store.ResultStore`
+  attached, cached points are served without touching the pool and
+  fresh results are persisted for the next run;
+* **graceful failure handling** — a :class:`~repro.sim.DeadlockError`
+  in a worker is re-raised in the parent as a ``DeadlockError`` (it is
+  a meaningful simulation outcome, not an infrastructure error), other
+  exceptions surface as an :class:`ExecutionError` carrying per-task
+  tracebacks, and a broken pool (a worker killed by the OS) falls back
+  to in-process execution of the unfinished tasks.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.config import SimulationConfig
+from ..sim.deadlock import DeadlockError
+from ..sim.engine import Simulator
+from ..sim.metrics import SimulationResult
+from ..sim.network import SimNetwork
+from .store import ResultStore
+
+# ----------------------------------------------------------------------
+# tasks
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One simulation point: build (or reuse) the network, run, return
+    the :class:`SimulationResult`.  Cacheable — the result is fully
+    determined by the config."""
+
+    config: SimulationConfig
+    cacheable = True
+
+    def execute(self) -> SimulationResult:
+        return Simulator(self.config, _shared_network(self.config)).run()
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One fault-injection campaign replay: build a *fresh* network
+    (runtime faults mutate it permanently, so the shared per-worker
+    network is off limits), optionally attach the reliability transport,
+    replay the campaign, and return a :class:`CampaignReplay`.
+
+    Not cacheable: campaign outcomes carry rich object graphs (epoch
+    records, reconfiguration reports) that have no stable on-disk form.
+    """
+
+    config: SimulationConfig
+    campaign: Any  #: :class:`repro.reliability.FaultCampaign`
+    reliability: Optional[Any] = None  #: :class:`repro.reliability.ReliabilityConfig`
+    settle_cycles: int = 1_000
+    drain: bool = True
+    cacheable = False
+
+    def execute(self) -> "CampaignReplay":
+        from ..reliability.campaign import replay_campaign
+        from ..reliability.transport import ReliableTransport
+
+        sim = Simulator(self.config)
+        if self.reliability is not None:
+            ReliableTransport(sim, self.reliability)
+        outcome = replay_campaign(
+            sim, self.campaign, settle_cycles=self.settle_cycles, drain=self.drain
+        )
+        return CampaignReplay(
+            result=sim._result(),
+            outcome=outcome,
+            network_description=sim.net.describe(),
+        )
+
+
+@dataclass
+class CampaignReplay:
+    """Everything a :class:`CampaignTask` brings back from its worker."""
+
+    result: SimulationResult
+    outcome: Any  #: :class:`repro.reliability.CampaignOutcome`
+    network_description: str
+
+
+# ----------------------------------------------------------------------
+# per-worker network reuse
+# ----------------------------------------------------------------------
+
+#: ``network_signature -> SimNetwork``, local to each worker process.
+#: Bounded: sweeps touch one or two distinct networks, ablations a few.
+_NETWORK_CACHE: Dict[str, SimNetwork] = {}
+_NETWORK_CACHE_MAX = 4
+
+
+def _shared_network(config: SimulationConfig) -> SimNetwork:
+    """The reuse contract: a network may be shared only between runs with
+    equal :meth:`~repro.sim.config.SimulationConfig.network_signature`,
+    never concurrently, and the consumer (``Simulator.__init__``) must
+    reset it before use.  Workers are single-threaded, so handing the
+    cached object to one simulator at a time is guaranteed here."""
+    signature = config.network_signature()
+    network = _NETWORK_CACHE.get(signature)
+    if network is None:
+        network = SimNetwork(config)
+        if len(_NETWORK_CACHE) >= _NETWORK_CACHE_MAX:
+            _NETWORK_CACHE.pop(next(iter(_NETWORK_CACHE)))
+        _NETWORK_CACHE[signature] = network
+    return network
+
+
+# ----------------------------------------------------------------------
+# failure bookkeeping
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that did not produce a result."""
+
+    index: int
+    kind: str  #: "deadlock" or "error"
+    message: str
+    cycle: Optional[int] = None  #: deadlock cycle, when kind == "deadlock"
+
+
+class ExecutionError(RuntimeError):
+    """One or more tasks failed with a non-deadlock exception."""
+
+    def __init__(self, failures: Sequence[TaskFailure]):
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} task(s) failed:"]
+        for failure in self.failures:
+            lines.append(f"--- task {failure.index} ({failure.kind}) ---")
+            lines.append(failure.message.rstrip())
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class ExecutionStats:
+    """Accounting for one :func:`execute` call."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    failed: int = 0
+    jobs: int = 1
+    pool_broken: bool = False
+    wall_seconds: float = 0.0
+    failures: List[TaskFailure] = field(default_factory=list)
+
+    @property
+    def cache_misses(self) -> int:
+        return self.total - self.cache_hits
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.total} task(s): {self.cache_hits} cached, "
+            f"{self.executed} executed (jobs={self.jobs}, "
+            f"{self.wall_seconds:.1f}s)"
+        )
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Passed to the ``progress`` callback as each task finishes."""
+
+    index: int  #: position in the submitted task list
+    completed: int  #: tasks finished so far (including this one)
+    total: int
+    cached: bool
+    payload: Any  #: the task's result, or None if it failed
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/0 means one worker per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be a positive worker count (or None/0 for auto)")
+    return jobs
+
+
+def _run_task(task) -> Tuple[str, Any]:
+    """Worker-side wrapper: never raises, so one bad task cannot take the
+    pool down with an unpicklable exception."""
+    try:
+        return "ok", task.execute()
+    except DeadlockError as exc:
+        return "deadlock", (exc.cycle, str(exc))
+    except Exception:
+        return "error", traceback.format_exc()
+
+
+def execute(
+    tasks: Sequence[Any],
+    *,
+    jobs: Optional[int] = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+    allow_failures: bool = False,
+) -> Tuple[List[Any], ExecutionStats]:
+    """Run every task and return ``(payloads, stats)`` in task order.
+
+    ``store`` memoizes cacheable tasks: hits skip the pool entirely and
+    fresh results are persisted.  ``jobs=1`` runs in-process (keeping the
+    per-process network reuse); ``jobs>1`` uses a worker pool; ``jobs in
+    (None, 0)`` sizes the pool to the CPU count.
+
+    With ``allow_failures=True`` failed tasks yield ``None`` payloads and
+    are listed in ``stats.failures``; otherwise the first failure in task
+    order is raised — as :class:`~repro.sim.DeadlockError` if the task
+    deadlocked, as :class:`ExecutionError` (with every collected
+    traceback) for anything else.
+    """
+    started = perf_counter()
+    tasks = list(tasks)
+    stats = ExecutionStats(total=len(tasks), jobs=resolve_jobs(jobs))
+    payloads: List[Any] = [None] * len(tasks)
+    completed = 0
+
+    def finish(index: int, payload: Any, cached: bool) -> None:
+        nonlocal completed
+        completed += 1
+        payloads[index] = payload
+        if progress is not None:
+            progress(
+                ProgressEvent(
+                    index=index,
+                    completed=completed,
+                    total=len(tasks),
+                    cached=cached,
+                    payload=payload,
+                )
+            )
+
+    # --- serve what the store already has ------------------------------
+    pending: List[int] = []
+    for index, task in enumerate(tasks):
+        hit = None
+        if store is not None and task.cacheable:
+            hit = store.load(task.config)
+        if hit is not None:
+            stats.cache_hits += 1
+            finish(index, hit, cached=True)
+        else:
+            pending.append(index)
+
+    # --- run the misses ------------------------------------------------
+    outcomes: Dict[int, Tuple[str, Any]] = {}
+    if pending and stats.jobs > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=stats.jobs) as pool:
+                futures = {pool.submit(_run_task, tasks[i]): i for i in pending}
+                for future in as_completed(futures):
+                    outcomes[futures[future]] = future.result()
+        except BrokenProcessPool:
+            # a worker died hard (OOM kill, segfault); the surviving
+            # results are kept and the remainder runs in-process
+            stats.pool_broken = True
+            unfinished = [i for i in pending if i not in outcomes]
+            warnings.warn(
+                f"worker pool broke; re-running {len(unfinished)} task(s) "
+                "in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for index in unfinished:
+                outcomes[index] = _run_task(tasks[index])
+    else:
+        for index in pending:
+            outcomes[index] = _run_task(tasks[index])
+
+    # --- integrate, persist, report ------------------------------------
+    for index in pending:
+        status, payload = outcomes[index]
+        if status == "ok":
+            stats.executed += 1
+            if store is not None and tasks[index].cacheable:
+                result = payload.result if isinstance(payload, CampaignReplay) else payload
+                store.store(tasks[index].config, result)
+            finish(index, payload, cached=False)
+        else:
+            stats.failed += 1
+            if status == "deadlock":
+                cycle, message = payload
+            else:
+                cycle, message = None, payload
+            stats.failures.append(
+                TaskFailure(index=index, kind=status, message=message, cycle=cycle)
+            )
+            finish(index, None, cached=False)
+
+    stats.wall_seconds = perf_counter() - started
+    if stats.failures and not allow_failures:
+        first = stats.failures[0]
+        if first.kind == "deadlock":
+            raise DeadlockError(first.cycle, first.message)
+        raise ExecutionError(stats.failures)
+    return payloads, stats
+
+
+def run_configs(
+    configs: Sequence[SimulationConfig],
+    *,
+    jobs: Optional[int] = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+) -> Tuple[List[SimulationResult], ExecutionStats]:
+    """Convenience wrapper: one :class:`PointTask` per config."""
+    return execute(
+        [PointTask(config) for config in configs],
+        jobs=jobs,
+        store=store,
+        progress=progress,
+    )

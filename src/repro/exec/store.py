@@ -1,0 +1,138 @@
+"""On-disk memoization of :class:`~repro.sim.metrics.SimulationResult`\\ s.
+
+Every figure in the paper is a latency-vs-load sweep, and campaign
+comparisons and ablations re-run largely identical point sets.  The
+store keys each result by a *content hash* of the full canonical
+:class:`~repro.sim.config.SimulationConfig` plus a code-version tag, so
+
+* re-running a figure only simulates the points whose configuration
+  actually changed,
+* any config-field change (even a newly added field) produces a new key
+  — a stale hit is structurally impossible, and
+* bumping :data:`CODE_VERSION` after a simulator-semantics change
+  invalidates everything at once.
+
+Entries are one JSON file per result under ``<root>/<hash[:2]>/<hash>.json``
+(two-level fan-out keeps directories small), written atomically via a
+temp file + ``os.replace`` so concurrent writers and readers never see a
+torn entry.  The store is a pure cache: deleting its directory is always
+safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from ..sim.config import SimulationConfig
+from ..sim.metrics import SimulationResult
+
+#: Bump whenever a change alters simulation outcomes for an unchanged
+#: configuration (engine semantics, routing decisions, RNG consumption
+#: order, metrics definitions).  Stored results under other tags are
+#: simply never matched.
+CODE_VERSION = "sim-v1"
+
+#: Environment variable overriding the default store location.
+STORE_ENV = "REPRO_RESULT_STORE"
+
+
+def default_store_root() -> Path:
+    """``$REPRO_RESULT_STORE`` if set, else ``~/.cache/repro/results``."""
+    env = os.environ.get(STORE_ENV, "")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "results"
+
+
+class ResultStore:
+    """Content-addressed store of simulation results.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the entries; created lazily on first write.
+    version:
+        Code-version tag mixed into every key (default
+        :data:`CODE_VERSION`).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        *,
+        version: str = CODE_VERSION,
+    ):
+        self.root = Path(root) if root is not None else default_store_root()
+        self.version = version
+
+    # ------------------------------------------------------------------
+    def key(self, config: SimulationConfig) -> str:
+        return config.content_hash(self.version)
+
+    def path_for(self, config: SimulationConfig) -> Path:
+        key = self.key(config)
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, config: SimulationConfig) -> bool:
+        return self.path_for(config).is_file()
+
+    def load(self, config: SimulationConfig) -> Optional[SimulationResult]:
+        """The memoized result for ``config``, or None on a miss (a
+        corrupt or half-written entry also reads as a miss)."""
+        path = self.path_for(config)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            return SimulationResult.from_dict(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, config: SimulationConfig, result: SimulationResult) -> Path:
+        """Atomically persist one result; returns the entry path."""
+        path = self.path_for(config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": self.key(config),
+            "version": self.version,
+            "config": config.to_canonical(),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def _entries(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        yield from self.root.glob("*/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> str:
+        return f"{self.root} ({self.version})"

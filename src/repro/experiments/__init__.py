@@ -1,6 +1,8 @@
 """Harnesses regenerating every table and figure of the paper's
 evaluation (Section 6)."""
 
+from .campaign import campaign_report
+from .context import RunContext
 from .figures import (
     PAPER_PEAK_UTILIZATION,
     PAPER_RAW_THROUGHPUT,
@@ -12,7 +14,7 @@ from .figures import (
 )
 from .extension3d import ext3d
 from .settings import PAPER, QUICK, ExperimentScale, get_scale
-from .tables import lemma1_evidence, table1, table2
+from .tables import lemma1_evidence, table1, table2, tables_report
 
 __all__ = [
     "PAPER",
@@ -21,6 +23,8 @@ __all__ = [
     "QUICK",
     "ExperimentScale",
     "FigureResult",
+    "RunContext",
+    "campaign_report",
     "fig8",
     "fig9",
     "ext3d",
@@ -29,5 +33,6 @@ __all__ = [
     "lemma1_evidence",
     "table1",
     "table2",
+    "tables_report",
     "throughput_summary",
 ]

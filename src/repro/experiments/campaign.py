@@ -9,20 +9,29 @@ shows the per-epoch throughput timeline, per-event losses and recovery
 times, and the transport's exactly-once accounting — the same run is
 then repeated without the reliability layer to show what the paper's
 bare fault transition loses.
+
+Both replays are independent :class:`~repro.api.Experiment` campaign
+tasks, so with ``--jobs 2`` the reliable and bare runs execute
+side by side in separate worker processes.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import campaign_table, survivability_summary
-from ..reliability import FaultCampaign, ReliabilityConfig, ReliableTransport, run_campaign
-from ..sim import SimulationConfig, Simulator
+from ..api import Experiment
+from ..reliability import FaultCampaign, ReliabilityConfig
+from ..sim import SimulationConfig
+from ..topology import make_network
+from .context import RunContext
 from .settings import get_scale
 
 #: campaign shape per scale: (events, first event cycle, spacing)
 _CAMPAIGN_SHAPE = {"quick": (3, 600, 900), "paper": (4, 1_500, 2_000)}
 
 
-def _build(scale_name: str):
+def _build(scale_name: str, seed: int):
     scale = get_scale(scale_name)
     count, start, interval = _CAMPAIGN_SHAPE[scale.name]
     config = SimulationConfig(
@@ -31,34 +40,46 @@ def _build(scale_name: str):
         dims=2,
         rate=scale.rate_grids[1][1],  # a healthy mid-load point
         warmup_cycles=0,
-        measure_cycles=10,  # the runner manages its own measurement
-        seed=11,
+        measure_cycles=10,  # the campaign replay manages its own measurement
+        seed=seed,
     )
-    sim = Simulator(config)
+    topology = make_network(config.topology, config.radix, config.dims)
     campaign = FaultCampaign.rolling(
-        sim.net.topology, count=count, start=start, interval=interval, seed=23, kind="mixed"
+        topology, count=count, start=start, interval=interval, seed=23, kind="mixed"
     )
-    return sim, campaign, interval
+    return config, campaign, interval
 
 
-def campaign_report(scale_name: str) -> str:
+def campaign_report(scale_name: str = "", *, ctx: Optional[RunContext] = None) -> str:
     """Run the seeded campaign twice — reliable and bare — and render
     both outcomes."""
-    chunks = []
+    if ctx is None:
+        ctx = RunContext(scale_name=scale_name)
+    config, campaign, interval = _build(scale_name, ctx.seed_or(11))
 
-    sim, campaign, interval = _build(scale_name)
-    ReliableTransport(sim, ReliabilityConfig(timeout=4 * interval // 5))
-    outcome = run_campaign(sim, campaign, settle_cycles=interval)
-    chunks.append(f"# Fault campaign — reliability layer ON ({sim.net.describe()})")
-    chunks.append(campaign_table(outcome))
-    chunks.append(survivability_summary(outcome))
-
-    sim, campaign, interval = _build(scale_name)
-    outcome = run_campaign(sim, campaign, settle_cycles=interval)
-    chunks.append("\n# Same campaign — reliability layer OFF")
-    chunks.append(campaign_table(outcome))
-    chunks.append(survivability_summary(outcome))
-    result = sim._result()
+    experiment = Experiment.campaign(
+        config,
+        campaign,
+        reliability=ReliabilityConfig(timeout=4 * interval // 5),
+        settle_cycles=interval,
+        label="campaign:reliable",
+    ) + Experiment.campaign(
+        config,
+        campaign,
+        settle_cycles=interval,
+        label="campaign:bare",
+    )
+    replay = ctx.run(experiment)
+    reliable, bare = replay.outcomes
+    chunks = [
+        f"# Fault campaign — reliability layer ON ({replay.descriptions[0]})",
+        campaign_table(reliable),
+        survivability_summary(reliable),
+        "\n# Same campaign — reliability layer OFF",
+        campaign_table(bare),
+        survivability_summary(bare),
+    ]
+    result = replay[1]
     chunks.append(
         f"permanent losses without the transport: {result.lost_messages} messages "
         f"({result.killed_in_flight} truncated in flight, "

@@ -1,33 +1,46 @@
 """Command-line entry point: ``repro-experiments`` / ``python -m
 repro.experiments``.
 
-Subcommands regenerate each figure/table of the paper::
+Subcommands regenerate each figure/table of the paper, and every
+subcommand accepts the same execution flags (defined once as shared
+argparse parents)::
 
-    repro-experiments fig8  --scale paper   # torus, 0/1/5% faults
-    repro-experiments fig9  --scale quick   # mesh
-    repro-experiments fig10                 # pipelined vs unpipelined
-    repro-experiments tables                # Tables 1 & 2 + Lemma 1 CDG check
-    repro-experiments throughput            # Section 6 raw numbers
-    repro-experiments campaign              # runtime-fault survivability
+    repro-experiments fig8  --scale paper --jobs 4     # torus, 0/1/5% faults
+    repro-experiments fig9  --scale quick --no-cache   # mesh
+    repro-experiments fig10 --jobs 0                   # one worker per CPU
+    repro-experiments tables                           # Tables 1 & 2 + Lemma 1
+    repro-experiments throughput --seed 3              # Section 6 raw numbers
+    repro-experiments campaign --jobs 2                # runtime-fault survivability
     repro-experiments all --scale paper --out results.txt
+
+``--jobs N`` fans sweep points out over N worker processes (0 = one per
+CPU).  Results are memoized in the on-disk store (``--cache-dir``, or
+``$REPRO_RESULT_STORE``, or ``~/.cache/repro/results``) keyed by the
+full simulation configuration, so re-running a figure only simulates
+points whose configuration changed; ``--no-cache`` bypasses the store
+entirely.  A progress line tracks completed points, and each command
+reports its cache-hit accounting on exit.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict, List, Optional
 
+from ..exec import ProgressEvent, ResultStore
 from .campaign import campaign_report
+from .context import RunContext
 from .extension3d import ext3d
-from .figures import fig8, fig9, fig10, throughput_summary
-from .tables import lemma1_evidence, table1, table2
+from .figures import FigureResult, fig8, fig9, fig10, throughput_summary
+from .tables import tables_report
 
 
-def _figure_runner(fn) -> Callable[[str], str]:
-    def run(scale: str) -> str:
-        result = fn(scale)
+def _figure_runner(fn) -> Callable[[RunContext], str]:
+    def run(ctx: RunContext) -> str:
+        result = fn(ctx.scale_name, ctx=ctx)
         run.last_figure = result  # stashed for --json
         return result.render()
 
@@ -35,15 +48,78 @@ def _figure_runner(fn) -> Callable[[str], str]:
     return run
 
 
-_COMMANDS: Dict[str, Callable[[str], str]] = {
+_COMMANDS: Dict[str, Callable[[RunContext], str]] = {
     "fig8": _figure_runner(fig8),
     "fig9": _figure_runner(fig9),
     "fig10": _figure_runner(fig10),
-    "tables": lambda _scale: "\n\n".join([table1(), table2(), lemma1_evidence()]),
-    "throughput": throughput_summary,
-    "ext3d": ext3d,
-    "campaign": campaign_report,
+    "tables": lambda ctx: tables_report(ctx),
+    "throughput": lambda ctx: throughput_summary(ctx.scale_name, ctx=ctx),
+    "ext3d": lambda ctx: ext3d(ctx.scale_name, ctx=ctx),
+    "campaign": lambda ctx: campaign_report(ctx.scale_name, ctx=ctx),
 }
+
+_DESCRIPTIONS = {
+    "fig8": "Figure 8: FT-PDR torus under 0/1/5% faults",
+    "fig9": "Figure 9: FT-PDR mesh under 0/1/5% faults",
+    "fig10": "Figure 10: pipelined vs unpipelined PDRs",
+    "tables": "Tables 1 & 2 and the Lemma 1 CDG evidence",
+    "throughput": "Section 6 raw throughput numbers",
+    "ext3d": "extension: 3D torus PDR under a cube fault",
+    "campaign": "extension: runtime-fault survivability campaign",
+    "all": "every experiment in sequence",
+}
+
+
+def _scale_parent() -> argparse.ArgumentParser:
+    """Flags shared by every subcommand: scope and output."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--scale",
+        default="",
+        choices=["", "quick", "paper"],
+        help="quick (8x8, seconds) or paper (16x16, minutes); "
+        "defaults to $REPRO_SCALE or quick",
+    )
+    parent.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the simulation seed (default: each harness's "
+        "published seed)",
+    )
+    parent.add_argument("--out", default="", help="also write the report to this file")
+    parent.add_argument(
+        "--json",
+        default="",
+        help="for figure experiments: also dump the raw sweep results as JSON "
+        "to this file (for plotting pipelines)",
+    )
+    return parent
+
+
+def _exec_parent() -> argparse.ArgumentParser:
+    """Flags shared by every subcommand: how to execute."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep points (1 = in-process, "
+        "0 = one per CPU core)",
+    )
+    parent.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="bypass the on-disk result store (always re-simulate)",
+    )
+    parent.add_argument(
+        "--cache-dir",
+        default="",
+        help="result store location (default: $REPRO_RESULT_STORE or "
+        "~/.cache/repro/results)",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,37 +130,74 @@ def build_parser() -> argparse.ArgumentParser:
             "Routers' (Chalasani & Boppana, HPCA 1996)."
         ),
     )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(_COMMANDS) + ["all"],
+    parents = [_scale_parent(), _exec_parent()]
+    subparsers = parser.add_subparsers(
+        dest="experiment",
+        metavar="experiment",
+        required=True,
         help="which figure/table to regenerate",
     )
-    parser.add_argument(
-        "--scale",
-        default="",
-        choices=["", "quick", "paper"],
-        help="quick (8x8, seconds) or paper (16x16, minutes); "
-        "defaults to $REPRO_SCALE or quick",
-    )
-    parser.add_argument("--out", default="", help="also write the report to this file")
-    parser.add_argument(
-        "--json",
-        default="",
-        help="for figure experiments: also dump the raw sweep results as JSON "
-        "to this file (for plotting pipelines)",
-    )
+    for name in sorted(_COMMANDS) + ["all"]:
+        subparsers.add_parser(name, parents=parents, help=_DESCRIPTIONS[name])
     return parser
+
+
+class _ProgressPrinter:
+    """Live point-level progress on stderr (one line per completion;
+    carriage-return overwrite when attached to a terminal)."""
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self._dirty = False
+
+    def __call__(self, label: str, event: ProgressEvent) -> None:
+        cached = f" ({event.cached and 'cached' or 'run'})"
+        line = (
+            f"[repro] {label or 'sweep'}: point {event.completed}/{event.total}"
+            f"{cached}"
+        )
+        if self.stream.isatty():
+            end = "\n" if event.completed == event.total else "\r"
+            print(f"{line:<60}", end=end, file=self.stream, flush=True)
+            self._dirty = end == "\r"
+        else:
+            print(line, file=self.stream)
+
+
+def _make_context(args: argparse.Namespace) -> RunContext:
+    store: Optional[ResultStore] = None
+    if args.cache:
+        store = ResultStore(args.cache_dir or None)
+    return RunContext(
+        scale_name=args.scale,
+        jobs=args.jobs,
+        store=store,
+        seed=args.seed,
+        progress=_ProgressPrinter(),
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    ctx = _make_context(args)
     chunks: List[str] = []
     for name in names:
         start = time.time()
-        print(f"[repro] running {name} (scale={args.scale or 'default'}) ...", file=sys.stderr)
-        chunks.append(_COMMANDS[name](args.scale))
+        print(
+            f"[repro] running {name} (scale={args.scale or 'default'}, "
+            f"jobs={args.jobs}) ...",
+            file=sys.stderr,
+        )
+        chunks.append(_COMMANDS[name](ctx))
         print(f"[repro] {name} done in {time.time() - start:.1f}s", file=sys.stderr)
+    totals = ctx.totals
+    store_note = ctx.store.describe() if ctx.store is not None else "disabled"
+    print(
+        f"[repro] cache: {totals.cache_hits} hits, {totals.executed} executed "
+        f"(store: {store_note})",
+        file=sys.stderr,
+    )
     report = "\n\n".join(chunks)
     print(report)
     if args.out:
@@ -95,13 +208,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in names:
             runner = _COMMANDS[name]
             figure = getattr(runner, "last_figure", None)
-            if figure is not None:
+            if isinstance(figure, FigureResult):
                 payload[name] = {
                     label: [r.to_dict() for r in sweep]
                     for label, sweep in figure.sweeps.items()
                 }
-        import json
-
         with open(args.json, "w") as handle:
             json.dump(payload, handle, sort_keys=True)
     return 0

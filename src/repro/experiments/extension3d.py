@@ -12,12 +12,13 @@ Not a paper figure; reported separately as `ext3d` in the CLI.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..analysis.report import results_table
 from ..faults import FaultSet
-from ..sim import SimulationConfig, SimulationResult, sweep_rates
+from ..sim import SimulationConfig, SimulationResult
 from ..topology import Torus
+from .context import RunContext
 from .settings import get_scale
 
 
@@ -34,13 +35,16 @@ def _cube_fault(radix: int) -> FaultSet:
     return FaultSet.of(torus, nodes=nodes)
 
 
-def ext3d(scale_name: str = "") -> str:
+def ext3d(scale_name: str = "", *, ctx: Optional[RunContext] = None) -> str:
     """Run the 3D torus PDR, fault-free and with a cube fault, and render
     the comparison."""
+    from .figures import _context, _segmented_sweeps
+
+    ctx = _context(ctx, scale_name)
     scale = get_scale(scale_name)
     radix = 6 if scale.name == "quick" else 8
     rates = [r * 1.5 for r in scale.rate_grids[1][:4]]
-    sweeps: Dict[str, List[SimulationResult]] = {}
+    segments = []
     for label, faults in (("fault-free", None), ("2x2x2 cube fault", _cube_fault(radix))):
         base = SimulationConfig(
             topology="torus",
@@ -49,8 +53,12 @@ def ext3d(scale_name: str = "") -> str:
             faults=faults,
             warmup_cycles=scale.warmup_cycles,
             measure_cycles=scale.measure_cycles,
+            seed=ctx.seed_or(1),
         )
-        sweeps[label] = sweep_rates(base, rates)
+        segments.append((label, base, rates))
+    sweeps: Dict[str, List[SimulationResult]] = _segmented_sweeps(
+        ctx, segments, label="ext3d"
+    )
     lines = [
         f"=== ext3d: fault-tolerant PDR in a {radix}^3 torus "
         "(3 chips/node, (i+1, i+2) interchip connections, 4 VCs) ===",

@@ -13,8 +13,8 @@ tables and ASCII charts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.report import (
     ascii_chart,
@@ -23,9 +23,11 @@ from ..analysis.report import (
     results_table,
     utilization_series,
 )
+from ..api import Experiment
 from ..router.timing import PIPELINED, UNPIPELINED, UNPIPELINED_SLOW_CLOCK
-from ..sim import SimulationConfig, SimulationResult, Simulator, sweep_rates
+from ..sim import SimulationConfig, SimulationResult
 from ..sim.runner import saturation_utilization
+from .context import RunContext
 from .settings import ExperimentScale, get_scale
 
 #: Peak bisection utilizations reported in the paper's Section 6.
@@ -78,11 +80,38 @@ class FigureResult:
         return "\n".join(lines)
 
 
-def _fault_sweep(
-    topology: str, scale: ExperimentScale, *, seed: int = 1, fault_seed: int = 7
-) -> FigureResult:
+def _segmented_sweeps(
+    ctx: RunContext,
+    segments: Sequence[Tuple[str, SimulationConfig, Sequence[float]]],
+    *,
+    label: str,
+) -> Dict[str, List[SimulationResult]]:
+    """Run several labeled rate sweeps as one executor batch (so every
+    point of every segment shares the worker pool and the result store)
+    and split the flat result list back into per-label sweeps."""
+    configs: List[SimulationConfig] = []
+    for _label, base, rates in segments:
+        configs.extend(replace(base, rate=rate) for rate in rates)
+    results = ctx.run(Experiment.from_configs(configs, label=label))
     sweeps: Dict[str, List[SimulationResult]] = {}
+    cursor = 0
+    for seg_label, _base, rates in segments:
+        sweeps[seg_label] = results.results[cursor : cursor + len(rates)]
+        cursor += len(rates)
+    return sweeps
+
+
+def _fault_sweep(
+    topology: str,
+    scale: ExperimentScale,
+    *,
+    ctx: RunContext,
+    fault_seed: int = 7,
+) -> FigureResult:
+    name = "fig8" if topology == "torus" else "fig9"
+    seed = ctx.seed_or(1)
     notes: List[str] = []
+    segments = []
     for percent in (0, 1, 5):
         base = SimulationConfig(
             topology=topology,
@@ -94,7 +123,8 @@ def _fault_sweep(
             measure_cycles=scale.measure_cycles,
             seed=seed,
         )
-        sweeps[f"{percent}% faults"] = sweep_rates(base, scale.rate_grids[percent])
+        segments.append((f"{percent}% faults", base, scale.rate_grids[percent]))
+    sweeps = _segmented_sweeps(ctx, segments, label=name)
     for percent in (0, 1, 5):
         measured = saturation_utilization(sweeps[f"{percent}% faults"])
         paper = PAPER_PEAK_UTILIZATION[(topology, percent)]
@@ -126,7 +156,7 @@ def _fault_sweep(
             measure_cycles=scale.measure_cycles,
             seed=seed,
         )
-        aggressive = Simulator(config).run()
+        aggressive = ctx.run(Experiment.point(config, label=f"{name}:all-vc"))[0]
         notes.append(
             "paper-faithful all-VC sharing at the saturation rate: "
             f"{aggressive.throughput_flits_per_cycle:.1f} flits/cycle, "
@@ -135,7 +165,7 @@ def _fault_sweep(
             f"{100 * PAPER_PEAK_UTILIZATION[('torus', 0)]:.0f}%)"
         )
     return FigureResult(
-        name="fig8" if topology == "torus" else "fig9",
+        name=name,
         title=(
             f"fault-tolerant PDR, 2D {topology} {scale.radix}x{scale.radix}, "
             f"{'4' if topology == 'torus' else '2'} VCs/channel, 0/1/5% link faults"
@@ -145,22 +175,33 @@ def _fault_sweep(
     )
 
 
-def fig8(scale_name: str = "") -> FigureResult:
+def _context(ctx: Optional[RunContext], scale_name: str) -> RunContext:
+    """The harness's execution context: the one handed in by the CLI, or
+    a default serial/uncached one for direct library calls."""
+    if ctx is not None:
+        return ctx
+    return RunContext(scale_name=scale_name)
+
+
+def fig8(scale_name: str = "", *, ctx: Optional[RunContext] = None) -> FigureResult:
     """Figure 8: performance of the fault-tolerant PDR in a 2D torus."""
-    return _fault_sweep("torus", get_scale(scale_name))
+    ctx = _context(ctx, scale_name)
+    return _fault_sweep("torus", get_scale(scale_name), ctx=ctx)
 
 
-def fig9(scale_name: str = "") -> FigureResult:
+def fig9(scale_name: str = "", *, ctx: Optional[RunContext] = None) -> FigureResult:
     """Figure 9: performance of the fault-tolerant PDR in a 2D mesh."""
-    return _fault_sweep("mesh", get_scale(scale_name))
+    ctx = _context(ctx, scale_name)
+    return _fault_sweep("mesh", get_scale(scale_name), ctx=ctx)
 
 
-def fig10(scale_name: str = "") -> FigureResult:
+def fig10(scale_name: str = "", *, ctx: Optional[RunContext] = None) -> FigureResult:
     """Figure 10: pipelined vs unpipelined PDRs in a fault-free 2D mesh
     with two virtual channels per physical channel."""
+    ctx = _context(ctx, scale_name)
     scale = get_scale(scale_name)
     rates = scale.rate_grids[0]
-    sweeps: Dict[str, List[SimulationResult]] = {}
+    segments = []
     for timing in (PIPELINED, UNPIPELINED):
         base = SimulationConfig(
             topology="mesh",
@@ -169,8 +210,10 @@ def fig10(scale_name: str = "") -> FigureResult:
             timing=timing,
             warmup_cycles=scale.warmup_cycles,
             measure_cycles=scale.measure_cycles,
+            seed=ctx.seed_or(1),
         )
-        sweeps[timing.name] = sweep_rates(base, rates)
+        segments.append((timing.name, base, rates))
+    sweeps = _segmented_sweeps(ctx, segments, label="fig10")
     result = FigureResult(
         name="fig10",
         title=f"pipelined vs unpipelined PDR, fault-free {scale.radix}x{scale.radix} mesh, 2 VCs",
@@ -201,10 +244,11 @@ def fig10(scale_name: str = "") -> FigureResult:
     return result
 
 
-def throughput_summary(scale_name: str = "") -> str:
+def throughput_summary(scale_name: str = "", *, ctx: Optional[RunContext] = None) -> str:
     """The Section 6 raw-throughput comparison (torus vs mesh)."""
+    ctx = _context(ctx, scale_name)
     scale = get_scale(scale_name)
-    rows = []
+    segments = []
     for topology in ("torus", "mesh"):
         base = SimulationConfig(
             topology=topology,
@@ -212,8 +256,13 @@ def throughput_summary(scale_name: str = "") -> str:
             dims=2,
             warmup_cycles=scale.warmup_cycles,
             measure_cycles=scale.measure_cycles,
+            seed=ctx.seed_or(1),
         )
-        results = sweep_rates(base, scale.rate_grids[0][-2:])
+        segments.append((topology, base, scale.rate_grids[0][-2:]))
+    sweeps = _segmented_sweeps(ctx, segments, label="throughput")
+    rows = []
+    for topology in ("torus", "mesh"):
+        results = sweeps[topology]
         best = max(results, key=lambda r: r.throughput_flits_per_cycle)
         rows.append(
             [

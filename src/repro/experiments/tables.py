@@ -9,12 +9,13 @@ mechanized disjointness/acyclicity evidence for Lemma 1.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..analysis.cdg import assert_deadlock_free
 from ..analysis.report import format_table
 from ..core import class_pair, misroute_dim_of
 from ..sim import SimulationConfig, SimNetwork
+from .context import RunContext
 
 
 def _pair_text(pair) -> str:
@@ -64,6 +65,16 @@ def table2(max_dims: int = 6) -> str:
     return "Table 2 (nD tori), regenerated from the implementation:\n" + format_table(
         ["n", "Message type", "Plane type", "Virtual channel classes"], rows
     )
+
+
+def tables_report(ctx: Optional[RunContext] = None) -> str:
+    """All specification tables plus the Lemma 1 evidence, as one report.
+
+    The tables are derivations, not simulations — there is nothing to
+    fan out or memoize, so the context's ``jobs``/store settings are
+    accepted (for CLI uniformity) and unused."""
+    del ctx
+    return "\n\n".join([table1(), table2(), lemma1_evidence()])
 
 
 def lemma1_evidence(radix: int = 8) -> str:

@@ -9,7 +9,7 @@ package is that layer:
   retransmission (fast-started by fault-kill notifications), and
   duplicate suppression at the sink: exactly-once delivery over the
   lossy fault transition.
-* :class:`FaultCampaign` / :func:`run_campaign` — scripted or seeded
+* :class:`FaultCampaign` / :func:`replay_campaign` — scripted or seeded
   timelines of runtime fault injections (rolling failures, board bursts,
   fail-then-grow regions) replayed against a live simulator with
   per-epoch throughput and per-event recovery measurements.
@@ -21,6 +21,7 @@ from .campaign import (
     FaultCampaign,
     FaultEvent,
     InjectionRecord,
+    replay_campaign,
     run_campaign,
 )
 from .stats import ReliabilityStats
@@ -40,5 +41,6 @@ __all__ = [
     "ReliabilityConfig",
     "ReliabilityStats",
     "ReliableTransport",
+    "replay_campaign",
     "run_campaign",
 ]

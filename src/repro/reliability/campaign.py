@@ -26,6 +26,7 @@ Every generated event is pre-validated against the block-fault model
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -335,7 +336,7 @@ class CampaignOutcome:
         return mean / self.baseline.throughput
 
 
-def run_campaign(
+def replay_campaign(
     sim,
     campaign: FaultCampaign,
     *,
@@ -434,3 +435,26 @@ def run_campaign(
         final_cycle=sim.now,
         drained=drain,
     )
+
+
+def run_campaign(
+    sim,
+    campaign: FaultCampaign,
+    *,
+    settle_cycles: int = 1_000,
+    drain: bool = True,
+) -> CampaignOutcome:
+    """Deprecated alias of :func:`replay_campaign`.
+
+    New code should either replay against a live simulator with
+    :func:`replay_campaign` or — for config-driven runs — use
+    :meth:`repro.api.Experiment.campaign`, which also parallelizes
+    replicas across worker processes.
+    """
+    warnings.warn(
+        "run_campaign is deprecated; use replay_campaign (live simulator) "
+        "or repro.api.Experiment.campaign (config-driven)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return replay_campaign(sim, campaign, settle_cycles=settle_cycles, drain=drain)

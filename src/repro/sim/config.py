@@ -9,11 +9,34 @@ injection limit of two outstanding messages per node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional
 
 from ..faults import FaultSet
 from ..router.timing import PIPELINED, RouterTiming
+from ..topology import BiLink
+
+#: config fields that do not influence :class:`~repro.sim.network.SimNetwork`
+#: construction — only the simulator's dynamic state.  Used by
+#: :meth:`SimulationConfig.network_signature` so executor workers can reuse
+#: one built network across every point of a sweep (and across seeds,
+#: traffic patterns, and timings) with a reset between runs.
+_NON_NETWORK_FIELDS = {
+    "timing": PIPELINED,
+    "traffic": "uniform",
+    "request_reply": False,
+    "rate": 0.0,
+    "message_length": 2,
+    "injection_limit": 1,
+    "warmup_cycles": 0,
+    "measure_cycles": 0,
+    "batches": 1,
+    "seed": 0,
+    "deadlock_threshold": 2_000,
+    "collect_latencies": False,
+}
 
 
 @dataclass
@@ -137,3 +160,70 @@ class SimulationConfig:
         if algorithm in ("ft", "table"):
             return 4 if self.is_torus else 2
         return 2 if self.is_torus else 1
+
+    # ------------------------------------------------------------------
+    # canonical serialization and content hashing (the result store's key)
+    # ------------------------------------------------------------------
+    def to_canonical(self) -> Dict[str, Any]:
+        """A JSON-safe dict that captures every configuration field, with
+        deterministic ordering for the nested structures.
+
+        Iterates the dataclass fields so a newly added knob automatically
+        enters the representation (and therefore the content hash — a new
+        field can never silently alias two different configurations)."""
+        data: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "timing":
+                value = {
+                    "name": value.name,
+                    "header_delay": value.header_delay,
+                    "data_delay": value.data_delay,
+                    "clock_scale": value.clock_scale,
+                }
+            elif spec.name == "faults" and value is not None:
+                value = {
+                    "nodes": sorted(list(c) for c in value.node_faults),
+                    "links": sorted(
+                        [list(l.u), list(l.v), l.dim] for l in value.link_faults
+                    ),
+                }
+            data[spec.name] = value
+        return data
+
+    @classmethod
+    def from_canonical(cls, data: Dict[str, Any]) -> "SimulationConfig":
+        """Inverse of :meth:`to_canonical`."""
+        kwargs = dict(data)
+        timing = kwargs.get("timing")
+        if isinstance(timing, dict):
+            kwargs["timing"] = RouterTiming(**timing)
+        faults = kwargs.get("faults")
+        if isinstance(faults, dict):
+            kwargs["faults"] = FaultSet(
+                node_faults=frozenset(tuple(c) for c in faults["nodes"]),
+                link_faults=frozenset(
+                    BiLink(tuple(u), tuple(v), dim) for u, v, dim in faults["links"]
+                ),
+            )
+        return cls(**kwargs)
+
+    def content_hash(self, version_tag: str = "") -> str:
+        """Stable hex digest of the canonical form, optionally salted with
+        a code-version tag so simulator-semantics changes invalidate
+        memoized results (see :mod:`repro.exec.store`)."""
+        payload = json.dumps(
+            {"config": self.to_canonical(), "version": version_tag},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def network_signature(self) -> str:
+        """Hash over only the fields that determine the built
+        :class:`~repro.sim.network.SimNetwork` (topology, faults, routing,
+        channel organization).  Two configs with equal signatures can
+        safely share one network object across runs, provided it is reset
+        between runs — the contract the sweep executor relies on."""
+        normalized = replace(self, **_NON_NETWORK_FIELDS)
+        return normalized.content_hash("network")

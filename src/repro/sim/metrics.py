@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import List, Tuple
 
 # two-sided 97.5% Student-t quantiles for small degrees of freedom
@@ -171,6 +171,19 @@ class SimulationResult:
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (or its JSON
+        round-trip).  Derived metrics included by ``to_dict`` are ignored;
+        unknown keys are tolerated so stores written by newer code still
+        load where possible."""
+        names = {spec.name for spec in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationResult":
+        return cls.from_dict(json.loads(text))
 
     @staticmethod
     def sweep_to_json(results: List["SimulationResult"]) -> str:

@@ -1,13 +1,30 @@
-"""High-level drivers: run one point or sweep the load axis.
+"""Legacy high-level drivers, now thin wrappers over :mod:`repro.api`.
 
-A network (topology + faults + routing + wiring) is built once per
-configuration and reused across load points, which is what makes the
-latency-vs-load sweeps behind each figure affordable.
+Historical note: ``sweep_rates`` used to build one :class:`SimNetwork`
+and share it, mutably, across every point of the sweep.  That sharing is
+what blocked safe parallelism, so the **network-reuse contract** is now
+explicit and enforced by the executor instead:
+
+* a network object may be reused only between runs whose configs have
+  equal :meth:`~repro.sim.config.SimulationConfig.network_signature`;
+* reuse is per worker process — never across processes, never
+  concurrently — with :meth:`SimNetwork.reset` between runs (performed
+  by ``Simulator.__init__``);
+* campaign replays (runtime faults mutate the network permanently) must
+  always build fresh.
+
+Fresh-per-point and reset-reuse are bit-for-bit identical because
+network construction is fully determined by the config; the executor
+keeps the amortized-build economics by caching one network per signature
+inside each worker (:func:`repro.exec.executor._shared_network`).
+
+New code should use :class:`repro.api.Experiment`; the functions here
+emit :class:`DeprecationWarning` and delegate.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import warnings
 from typing import Callable, List, Optional, Sequence
 
 from .config import SimulationConfig
@@ -17,7 +34,15 @@ from .network import SimNetwork
 
 
 def run_point(config: SimulationConfig, network: Optional[SimNetwork] = None) -> SimulationResult:
-    """Build (or reuse) the network and run one simulation point."""
+    """Deprecated: use ``Experiment.point(config).run(...)``.
+
+    The ``network`` parameter is honored for compatibility (the caller
+    owns the reuse contract in that case)."""
+    warnings.warn(
+        "run_point is deprecated; use repro.api.Experiment.point(config).run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return Simulator(config, network).run()
 
 
@@ -27,18 +52,20 @@ def sweep_rates(
     *,
     progress: Optional[Callable[[SimulationResult], None]] = None,
 ) -> List[SimulationResult]:
-    """Run the same configuration across message-generation rates (the
-    load axis of Figures 8-10).  The network is built once; each point
-    gets a fresh simulator state."""
-    network = SimNetwork(base)
-    results = []
-    for rate in rates:
-        config = replace(base, rate=rate)
-        result = Simulator(config, network).run()
-        results.append(result)
-        if progress is not None:
-            progress(result)
-    return results
+    """Deprecated: use ``Experiment.sweep(base, rates).run(...)``, which
+    adds worker-pool parallelism and result memoization on top of the
+    serial loop this function used to run."""
+    warnings.warn(
+        "sweep_rates is deprecated; use repro.api.Experiment.sweep(base, rates).run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import Experiment  # local import: repro.api imports repro.sim
+
+    adapter = (lambda event: progress(event.payload)) if progress is not None else None
+    return list(
+        Experiment.sweep(base, rates).run(jobs=1, cache=False, progress=adapter)
+    )
 
 
 def saturation_utilization(results: Sequence[SimulationResult]) -> float:

@@ -1,0 +1,224 @@
+"""Tests for the parallel executor (repro.exec.executor): serial/parallel
+parity, memoization, failure handling, and the worker-side network cache.
+
+The synthetic task classes live at module level so the worker-pool tests
+can pickle them.
+"""
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.exec import (
+    ExecutionError,
+    PointTask,
+    ResultStore,
+    execute,
+    resolve_jobs,
+    run_configs,
+)
+from repro.sim import DeadlockError, SimulationConfig, Simulator
+
+
+def config(**kwargs):
+    defaults = dict(
+        topology="torus",
+        radix=6,
+        dims=2,
+        rate=0.01,
+        warmup_cycles=100,
+        measure_cycles=400,
+        seed=4,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+def sweep_configs(rates=(0.004, 0.008, 0.012, 0.016)):
+    from dataclasses import replace
+
+    return [replace(config(), rate=r) for r in rates]
+
+
+@dataclass(frozen=True)
+class _BoomTask:
+    """A task that always fails with an ordinary exception."""
+
+    config: SimulationConfig
+    cacheable = False
+
+    def execute(self):
+        raise ValueError("boom")
+
+
+@dataclass(frozen=True)
+class _DeadlockTask:
+    """A task that reports a (synthetic) simulated deadlock."""
+
+    config: SimulationConfig
+    cacheable = False
+
+    def execute(self):
+        raise DeadlockError(123, "synthetic deadlock at cycle 123")
+
+
+@dataclass(frozen=True)
+class _CrashTask:
+    """A task that kills its worker process outright (simulating an OOM
+    kill), but survives when re-run in the parent process."""
+
+    config: SimulationConfig
+    parent_pid: int
+    cacheable = False
+
+    def execute(self):
+        if os.getpid() != self.parent_pid:
+            os._exit(1)
+        return "survived-in-process"
+
+
+class TestResolveJobs:
+    def test_auto(self):
+        assert resolve_jobs(None) == resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestParity:
+    """The tentpole guarantee: jobs=1, jobs=4 and a cache-warm run all
+    produce bit-for-bit identical results, equal to a plain serial loop."""
+
+    def test_serial_parallel_and_cached_identical(self, tmp_path):
+        configs = sweep_configs()
+        manual = [Simulator(c).run() for c in configs]
+
+        serial, serial_stats = run_configs(configs, jobs=1)
+        parallel, parallel_stats = run_configs(configs, jobs=4)
+        assert serial == manual
+        assert parallel == manual
+        assert serial_stats.executed == parallel_stats.executed == len(configs)
+
+        store = ResultStore(tmp_path)
+        warmup, warmup_stats = run_configs(configs, jobs=1, store=store)
+        cached, cached_stats = run_configs(configs, jobs=4, store=store)
+        assert warmup == manual and cached == manual
+        assert warmup_stats.cache_hits == 0
+        assert cached_stats.cache_hits == len(configs)
+        assert cached_stats.executed == 0
+        assert cached_stats.hit_ratio == 1.0
+
+    def test_results_keep_task_order(self):
+        configs = sweep_configs()
+        results, _ = run_configs(configs, jobs=4)
+        assert [r.rate for r in results] == [c.rate for c in configs]
+
+    def test_partial_cache(self, tmp_path):
+        """Changing one point's config re-simulates only that point."""
+        from dataclasses import replace
+
+        store = ResultStore(tmp_path)
+        configs = sweep_configs()
+        run_configs(configs, store=store)
+        configs[1] = replace(configs[1], seed=99)
+        results, stats = run_configs(configs, store=store)
+        assert stats.cache_hits == len(configs) - 1
+        assert stats.executed == 1
+        assert results[1] == Simulator(configs[1]).run()
+
+
+class TestProgress:
+    def test_events_cover_all_tasks(self, tmp_path):
+        store = ResultStore(tmp_path)
+        configs = sweep_configs((0.004, 0.008))
+        run_configs(configs, store=store)
+
+        events = []
+        run_configs(configs, store=store, progress=events.append)
+        assert [e.completed for e in events] == [1, 2]
+        assert all(e.cached and e.total == 2 for e in events)
+        assert {e.index for e in events} == {0, 1}
+        assert all(e.payload.delivered > 0 for e in events)
+
+
+class TestFailureHandling:
+    def test_plain_error_raises_execution_error(self):
+        tasks = [PointTask(config()), _BoomTask(config())]
+        with pytest.raises(ExecutionError, match="boom"):
+            execute(tasks, jobs=1)
+
+    def test_deadlock_reraised_as_deadlock_error(self):
+        with pytest.raises(DeadlockError) as excinfo:
+            execute([_DeadlockTask(config())], jobs=1)
+        assert excinfo.value.cycle == 123
+
+    def test_failures_cross_process_boundary(self):
+        with pytest.raises(ExecutionError, match="boom"):
+            execute([_BoomTask(config())], jobs=2)
+        with pytest.raises(DeadlockError):
+            execute([_DeadlockTask(config())], jobs=2)
+
+    def test_allow_failures_collects(self):
+        tasks = [_BoomTask(config()), PointTask(config()), _DeadlockTask(config())]
+        payloads, stats = execute(tasks, jobs=1, allow_failures=True)
+        assert payloads[0] is None and payloads[2] is None
+        assert payloads[1].delivered > 0
+        assert stats.failed == 2 and stats.executed == 1
+        kinds = {f.index: f.kind for f in stats.failures}
+        assert kinds == {0: "error", 2: "deadlock"}
+
+    def test_broken_pool_falls_back_in_process(self):
+        """A worker dying hard (os._exit) breaks the pool; the executor
+        re-runs the unfinished tasks in-process and still returns."""
+        tasks = [_CrashTask(config(), parent_pid=os.getpid())]
+        with pytest.warns(RuntimeWarning, match="worker pool broke"):
+            payloads, stats = execute(tasks, jobs=2)
+        assert payloads == ["survived-in-process"]
+        assert stats.pool_broken and stats.executed == 1
+
+
+class TestWorkerNetworkReuse:
+    def test_network_cache_shared_by_signature(self):
+        from repro.exec.executor import _NETWORK_CACHE, _shared_network
+
+        _NETWORK_CACHE.clear()
+        a = _shared_network(config(rate=0.004))
+        b = _shared_network(config(rate=0.016, seed=12))  # same network
+        c = _shared_network(config(fault_percent=1))  # different network
+        assert a is b and a is not c
+        assert len(_NETWORK_CACHE) == 2
+        _NETWORK_CACHE.clear()
+
+    def test_network_cache_bounded(self):
+        from repro.exec.executor import (
+            _NETWORK_CACHE,
+            _NETWORK_CACHE_MAX,
+            _shared_network,
+        )
+
+        _NETWORK_CACHE.clear()
+        for radix in (4, 5, 6, 7, 8):
+            _shared_network(config(radix=radix, warmup_cycles=0, measure_cycles=10))
+        assert len(_NETWORK_CACHE) <= _NETWORK_CACHE_MAX
+        _NETWORK_CACHE.clear()
+
+    def test_campaign_task_never_cached(self, tmp_path):
+        """Campaign results must not be served from the point store."""
+        from repro.exec import CampaignTask
+        from repro.reliability import FaultCampaign
+
+        store = ResultStore(tmp_path)
+        task = CampaignTask(
+            config=config(warmup_cycles=0, measure_cycles=10),
+            campaign=FaultCampaign([]),
+            settle_cycles=100,
+        )
+        _, first = execute([task], store=store)
+        _, second = execute([task], store=store)
+        assert first.cache_hits == second.cache_hits == 0
+        assert len(store) == 0

@@ -1,0 +1,145 @@
+"""Tests for config canonicalization, content hashing, and the on-disk
+result store (repro.exec.store)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.exec.store import CODE_VERSION, ResultStore, default_store_root
+from repro.faults import FaultSet
+from repro.router import UNPIPELINED
+from repro.sim import SimulationConfig, Simulator
+from repro.topology import Torus
+
+
+def config(**kwargs):
+    defaults = dict(
+        topology="torus",
+        radix=6,
+        dims=2,
+        rate=0.01,
+        warmup_cycles=100,
+        measure_cycles=400,
+        seed=9,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestCanonicalForm:
+    def test_round_trip(self):
+        original = config(timing=UNPIPELINED, fault_percent=1, fault_seed=3)
+        rebuilt = SimulationConfig.from_canonical(original.to_canonical())
+        assert rebuilt == original
+
+    def test_round_trip_with_explicit_faults(self):
+        torus = Torus(6, 2)
+        faults = FaultSet.of(torus, nodes=[(2, 2)], links=[((0, 0), 0, 1)])
+        original = config(faults=faults)
+        rebuilt = SimulationConfig.from_canonical(original.to_canonical())
+        assert rebuilt.content_hash() == original.content_hash()
+
+    def test_canonical_is_json_serializable(self):
+        torus = Torus(6, 2)
+        canonical = config(faults=FaultSet.of(torus, nodes=[(1, 1)])).to_canonical()
+        json.dumps(canonical)  # must not raise
+
+    def test_covers_every_field(self):
+        """New config fields automatically enter the canonical form (and
+        therefore the hash) — a stale cache hit is structurally
+        impossible."""
+        canonical = config().to_canonical()
+        for spec in dataclasses.fields(SimulationConfig):
+            assert spec.name in canonical
+
+
+class TestContentHash:
+    def test_deterministic_across_instances(self):
+        assert config().content_hash() == config().content_hash()
+
+    def test_every_field_change_invalidates(self):
+        base = config()
+        base_hash = base.content_hash()
+        variants = dict(
+            topology="mesh",
+            radix=8,
+            dims=3,
+            rate=0.02,
+            message_length=4,
+            warmup_cycles=101,
+            measure_cycles=401,
+            seed=10,
+            fault_percent=1,
+            fault_seed=2,
+            traffic="transpose",
+            timing=UNPIPELINED,
+            router_model="crossbar",
+            share_idle_vcs=False,
+            collect_latencies=True,
+        )
+        for name, value in variants.items():
+            changed = dataclasses.replace(base, **{name: value})
+            assert changed.content_hash() != base_hash, name
+
+    def test_version_tag_invalidates(self):
+        assert config().content_hash("sim-v1") != config().content_hash("sim-v2")
+
+    def test_network_signature_ignores_load_fields(self):
+        """Configs differing only in traffic/measurement fields may share
+        a network; topology-affecting fields may not."""
+        base = config()
+        assert base.network_signature() == config(
+            rate=0.05, seed=77, measure_cycles=900, traffic="hotspot"
+        ).network_signature()
+        assert base.network_signature() != config(fault_percent=1).network_signature()
+        assert base.network_signature() != config(radix=8).network_signature()
+
+
+class TestResultStore:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        return ResultStore(tmp_path / "results")
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return Simulator(config()).run()
+
+    def test_miss_then_hit(self, store, result):
+        cfg = config()
+        assert cfg not in store
+        assert store.load(cfg) is None
+        store.store(cfg, result)
+        assert cfg in store
+        assert store.load(cfg) == result
+
+    def test_distinct_configs_distinct_entries(self, store, result):
+        store.store(config(), result)
+        store.store(config(rate=0.02), result)
+        assert len(store) == 2
+        assert config(rate=0.02) in store and config(rate=0.03) not in store
+
+    def test_version_tag_scopes_entries(self, tmp_path, result):
+        old = ResultStore(tmp_path, version=CODE_VERSION)
+        new = ResultStore(tmp_path, version=CODE_VERSION + ".post")
+        old.store(config(), result)
+        assert config() in old
+        assert config() not in new  # same directory, different code version
+
+    def test_corrupt_entry_reads_as_miss(self, store, result):
+        cfg = config()
+        path = store.store(cfg, result)
+        path.write_text("{ torn json", encoding="utf-8")
+        assert store.load(cfg) is None
+
+    def test_clear(self, store, result):
+        store.store(config(), result)
+        store.store(config(rate=0.02), result)
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.clear() == 0  # idempotent on an empty store
+
+    def test_default_root_honors_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "env-store"))
+        assert default_store_root() == tmp_path / "env-store"
+        assert ResultStore().root == tmp_path / "env-store"

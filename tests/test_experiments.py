@@ -112,6 +112,25 @@ class TestCli:
         args = parser.parse_args(["fig8", "--scale", "quick"])
         assert args.experiment == "fig8" and args.scale == "quick"
 
+    def test_every_subcommand_accepts_shared_flags(self):
+        """The same --jobs/--no-cache/--seed/--out flags parse on every
+        subcommand (defined once as shared argparse parents)."""
+        parser = build_parser()
+        from repro.experiments.cli import _COMMANDS
+
+        for name in sorted(_COMMANDS) + ["all"]:
+            args = parser.parse_args(
+                [name, "--jobs", "2", "--no-cache", "--seed", "7", "--out", "r.txt"]
+            )
+            assert args.jobs == 2
+            assert args.cache is False
+            assert args.seed == 7
+            assert args.out == "r.txt"
+
+    def test_cache_flag_default_on(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.cache is True and args.jobs == 1 and args.seed is None
+
     def test_main_tables(self, capsys):
         assert main(["tables"]) == 0
         out = capsys.readouterr().out
@@ -121,11 +140,22 @@ class TestCli:
         import repro.experiments.cli as cli_module
 
         monkeypatch.setitem(
-            cli_module._COMMANDS, "fig8", lambda scale: figures_module.fig8().render()
+            cli_module._COMMANDS, "fig8", lambda ctx: figures_module.fig8().render()
         )
         out_file = tmp_path / "report.txt"
         assert main(["fig8", "--out", str(out_file)]) == 0
         assert "fig8" in out_file.read_text()
+
+    def test_main_reports_cache_accounting(self, tmp_path, capsys, tiny_scale, monkeypatch):
+        """Two identical invocations: the second is served from the store."""
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "store"))
+        cold = main(["fig8", "--jobs", "1"])
+        cold_err = capsys.readouterr().err
+        warm = main(["fig8", "--jobs", "1"])
+        warm_err = capsys.readouterr().err
+        assert cold == warm == 0
+        assert "cache: 0 hits" in cold_err
+        assert ", 0 executed" in warm_err
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

@@ -3,8 +3,13 @@ and the paper's qualitative performance claims at small scale."""
 
 import pytest
 
+from repro.api import Experiment
 from repro.router import UNPIPELINED
-from repro.sim import SimulationConfig, Simulator, sweep_rates
+from repro.sim import SimulationConfig, Simulator
+
+
+def sweep(base, rates):
+    return list(Experiment.sweep(base, rates).run(cache=False))
 
 
 def config(**kwargs):
@@ -79,19 +84,21 @@ class TestRouterOrganizations:
 
 class TestSweeps:
     def test_latency_monotone_through_saturation(self):
-        results = sweep_rates(config(rate=0.0), [0.004, 0.012, 0.03])
+        results = sweep(config(rate=0.0), [0.004, 0.012, 0.03])
         latencies = [r.avg_latency for r in results]
         assert latencies[0] < latencies[-1]
         assert results[-1].saturated or results[-1].final_source_queue > 0
 
     def test_throughput_saturates(self):
-        results = sweep_rates(config(rate=0.0), [0.004, 0.03, 0.05])
+        results = sweep(config(rate=0.0), [0.004, 0.03, 0.05])
         thr = [r.throughput_flits_per_cycle for r in results]
         # beyond saturation throughput stops growing proportionally
         assert thr[2] < thr[1] * 1.7
 
-    def test_sweep_reuses_network(self):
-        results = sweep_rates(config(rate=0.0, fault_percent=1), [0.004, 0.008])
+    def test_sweep_points_share_fault_scenario(self):
+        # every point of a sweep sees the same (config-seeded) fault set,
+        # whether the executor reuses a cached network or builds fresh
+        results = sweep(config(rate=0.0, fault_percent=1), [0.004, 0.008])
         assert results[0].fault_percent == results[1].fault_percent == 1
 
 

@@ -9,7 +9,7 @@ from repro.reliability import (
     FaultEvent,
     ReliabilityConfig,
     ReliableTransport,
-    run_campaign,
+    replay_campaign,
 )
 from repro.sim import SimulationConfig, Simulator
 
@@ -123,7 +123,7 @@ class TestRunCampaign:
 
     def test_rejected_event_recorded_and_campaign_continues(self):
         sim = make_sim()
-        outcome = run_campaign(sim, self.scripted(), settle_cycles=200)
+        outcome = replay_campaign(sim, self.scripted(), settle_cycles=200)
         assert [r.applied for r in outcome.records] == [True, False, True]
         assert outcome.applied_events == 2
         rejected = outcome.records[1]
@@ -134,7 +134,7 @@ class TestRunCampaign:
 
     def test_epochs_and_reports(self):
         sim = make_sim()
-        outcome = run_campaign(sim, self.scripted(), settle_cycles=200)
+        outcome = replay_campaign(sim, self.scripted(), settle_cycles=200)
         assert outcome.baseline is not None
         assert outcome.baseline.delivered > 0
         for record in outcome.records:
@@ -147,7 +147,7 @@ class TestRunCampaign:
     def test_recovery_times_filled_with_transport(self):
         sim = make_sim()
         ReliableTransport(sim, ReliabilityConfig(timeout=300))
-        outcome = run_campaign(sim, self.scripted(), settle_cycles=200)
+        outcome = replay_campaign(sim, self.scripted(), settle_cycles=200)
         assert outcome.stats is not None
         for record in outcome.records:
             if record.applied:
@@ -158,7 +158,7 @@ class TestRunCampaign:
     def test_report_rendering(self):
         sim = make_sim()
         ReliableTransport(sim, ReliabilityConfig(timeout=300))
-        outcome = run_campaign(sim, self.scripted(), settle_cycles=200)
+        outcome = replay_campaign(sim, self.scripted(), settle_cycles=200)
         table = campaign_table(outcome)
         assert "baseline" in table
         assert "REJECTED" in table
@@ -167,7 +167,7 @@ class TestRunCampaign:
 
     def test_empty_campaign_still_measures(self):
         sim = make_sim()
-        outcome = run_campaign(sim, FaultCampaign([]), settle_cycles=300)
+        outcome = replay_campaign(sim, FaultCampaign([]), settle_cycles=300)
         assert outcome.records == []
         assert outcome.baseline is not None
         assert outcome.baseline.delivered > 0
@@ -180,7 +180,7 @@ class TestDeterminism:
         campaign = FaultCampaign.rolling(
             sim.net.topology, count=3, start=300, interval=400, seed=9, kind="mixed"
         )
-        outcome = run_campaign(sim, campaign, settle_cycles=300)
+        outcome = replay_campaign(sim, campaign, settle_cycles=300)
         return sim, outcome
 
     def test_identical_seed_reproduces_everything(self):

@@ -15,7 +15,7 @@ from repro.reliability import (
     FaultEvent,
     ReliabilityConfig,
     ReliableTransport,
-    run_campaign,
+    replay_campaign,
 )
 from repro.sim import SimulationConfig, Simulator
 
@@ -46,7 +46,7 @@ def build_sim():
 def test_reliable_campaign_delivers_exactly_once():
     sim = build_sim()
     transport = ReliableTransport(sim, ReliabilityConfig(timeout=500))
-    outcome = run_campaign(sim, CAMPAIGN, settle_cycles=400)
+    outcome = replay_campaign(sim, CAMPAIGN, settle_cycles=400)
 
     # both injections landed and truncated live worms
     assert [r.applied for r in outcome.records] == [True, True]
@@ -79,7 +79,7 @@ def test_reliable_campaign_delivers_exactly_once():
 
 def test_bare_campaign_loses_messages():
     sim = build_sim()
-    outcome = run_campaign(sim, CAMPAIGN, settle_cycles=400)
+    outcome = replay_campaign(sim, CAMPAIGN, settle_cycles=400)
 
     assert [r.applied for r in outcome.records] == [True, True]
     assert outcome.stats is None

@@ -1,4 +1,11 @@
-"""Unit tests for the sweep runner helpers."""
+"""Unit tests for the sweep runner helpers.
+
+``run_point`` and ``sweep_rates`` are deprecated wrappers around the
+:class:`repro.api.Experiment` facade; these tests pin both their
+behavior and the deprecation contract.
+"""
+
+import pytest
 
 from repro.sim import SimulationConfig, run_point, sweep_rates
 from repro.sim.runner import default_rate_grid, saturation_utilization
@@ -18,8 +25,9 @@ def config(**kwargs):
 
 
 class TestRunPoint:
-    def test_returns_result(self):
-        result = run_point(config())
+    def test_returns_result_and_warns(self):
+        with pytest.warns(DeprecationWarning, match="Experiment.point"):
+            result = run_point(config())
         assert result.delivered > 0
         assert result.rate == 0.01
 
@@ -27,23 +35,38 @@ class TestRunPoint:
         from repro.sim import SimNetwork
 
         net = SimNetwork(config())
-        first = run_point(config(), net)
-        second = run_point(config(), net)
+        with pytest.warns(DeprecationWarning):
+            first = run_point(config(), net)
+        with pytest.warns(DeprecationWarning):
+            second = run_point(config(), net)
         assert first.delivered == second.delivered  # same seed, clean reset
 
 
 class TestSweep:
     def test_rates_applied_in_order(self):
-        results = sweep_rates(config(), [0.005, 0.02])
+        with pytest.warns(DeprecationWarning, match="Experiment.sweep"):
+            results = sweep_rates(config(), [0.005, 0.02])
         assert [r.rate for r in results] == [0.005, 0.02]
 
     def test_progress_callback(self):
         seen = []
-        sweep_rates(config(), [0.005, 0.01], progress=seen.append)
+        with pytest.warns(DeprecationWarning):
+            sweep_rates(config(), [0.005, 0.01], progress=seen.append)
         assert len(seen) == 2
+        assert all(r.delivered > 0 for r in seen)
+
+    def test_matches_experiment_api(self):
+        """The wrapper and the facade it delegates to agree bit-for-bit."""
+        from repro.api import Experiment
+
+        with pytest.warns(DeprecationWarning):
+            legacy = sweep_rates(config(), [0.005, 0.02])
+        modern = Experiment.sweep(config(), [0.005, 0.02]).run(cache=False)
+        assert list(modern) == legacy
 
     def test_saturation_utilization(self):
-        results = sweep_rates(config(), [0.005, 0.03])
+        with pytest.warns(DeprecationWarning):
+            results = sweep_rates(config(), [0.005, 0.03])
         peak = saturation_utilization(results)
         assert peak == max(r.bisection_utilization for r in results)
         assert saturation_utilization([]) == 0.0
