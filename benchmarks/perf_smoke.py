@@ -1,0 +1,131 @@
+"""Engine performance smoke: cycles/second for both simulation cores.
+
+Measures the paper-scale configuration (16x16 torus) at three offered
+loads, for the legacy full-scan core and the active-set core, and writes
+``BENCH_engine.json``.  The regression check compares *speedup ratios*
+(active over legacy on the same machine and the same run), which are
+machine-independent, rather than absolute cycles/second, which are not.
+
+Usage::
+
+    python benchmarks/perf_smoke.py --write          # refresh the baseline
+    python benchmarks/perf_smoke.py --check          # fail on regression
+
+``--check`` fails when any rate's measured speedup drops below
+``REGRESSION_FRACTION`` (75%) of the committed baseline speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.sim import SimulationConfig, Simulator
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+#: offered loads (messages/node/cycle): near-idle (where the active-set
+#: scheduling wins outright), the low-load region where the paper's
+#: latency curves live, and moderate load approaching saturation
+RATES = (0.0002, 0.002, 0.01)
+RADIX = 16
+WARMUP_CYCLES = 300
+MEASURE_CYCLES = 1200
+REPETITIONS = 3
+#: a measured speedup below this fraction of the baseline speedup fails
+REGRESSION_FRACTION = 0.75
+
+
+def _cycles_per_second(core: str, rate: float) -> float:
+    config = SimulationConfig(
+        topology="torus", radix=RADIX, dims=2, rate=rate,
+        warmup_cycles=0, measure_cycles=10, seed=42,
+    )
+    best = 0.0
+    for _ in range(REPETITIONS):
+        sim = Simulator(config, core=core)
+        for _ in range(WARMUP_CYCLES):  # reach steady occupancy first
+            sim.step()
+        start = time.perf_counter()
+        for _ in range(MEASURE_CYCLES):
+            sim.step()
+        elapsed = time.perf_counter() - start
+        best = max(best, MEASURE_CYCLES / elapsed)
+    return best
+
+
+def measure() -> dict:
+    points = {}
+    for rate in RATES:
+        legacy = _cycles_per_second("legacy", rate)
+        active = _cycles_per_second("active", rate)
+        points[str(rate)] = {
+            "legacy_cycles_per_sec": round(legacy, 1),
+            "active_cycles_per_sec": round(active, 1),
+            "speedup": round(active / legacy, 3),
+        }
+        print(
+            f"rate={rate}: legacy={legacy:9.1f} c/s  active={active:9.1f} c/s  "
+            f"speedup={active / legacy:.2f}x"
+        )
+    return {
+        "config": {
+            "topology": "torus", "radix": RADIX, "dims": 2,
+            "warmup_cycles": WARMUP_CYCLES, "measure_cycles": MEASURE_CYCLES,
+            "repetitions": REPETITIONS,
+        },
+        "rates": points,
+    }
+
+
+def check(measured: dict, baseline: dict) -> int:
+    failures = 0
+    for rate, point in baseline["rates"].items():
+        got = measured["rates"].get(rate)
+        if got is None:
+            print(f"rate {rate}: missing from measurement", file=sys.stderr)
+            failures += 1
+            continue
+        floor = REGRESSION_FRACTION * point["speedup"]
+        verdict = "ok" if got["speedup"] >= floor else "REGRESSION"
+        print(
+            f"rate {rate}: speedup {got['speedup']:.2f}x vs baseline "
+            f"{point['speedup']:.2f}x (floor {floor:.2f}x) -> {verdict}"
+        )
+        if got["speedup"] < floor:
+            failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true", help="write the baseline file")
+    mode.add_argument("--check", action="store_true", help="compare against the baseline")
+    args = parser.parse_args(argv)
+
+    measured = measure()
+    if args.write:
+        BASELINE_PATH.write_text(json.dumps(measured, indent=1, sort_keys=True) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    # leave the measured numbers next to the baseline for CI artifacts
+    ci_path = BASELINE_PATH.with_suffix(".ci.json")
+    ci_path.write_text(json.dumps(measured, indent=1, sort_keys=True) + "\n")
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --write first", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = check(measured, baseline)
+    if failures:
+        print(f"{failures} perf regression(s)", file=sys.stderr)
+        return 1
+    print("perf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,21 +6,34 @@ regressions in the hot loop (important because the paper-scale 16x16
 sweeps run thousands of cycles per point).
 """
 
+import time
+
 import pytest
 
 from repro.sim import SimulationConfig, Simulator
 
 
-def make_sim(load: float, **kwargs):
+def make_sim(load: float, *, core=None, radix=8, **kwargs):
     defaults = dict(
-        topology="torus", radix=8, dims=2, rate=load,
+        topology="torus", radix=radix, dims=2, rate=load,
         warmup_cycles=0, measure_cycles=10,
     )
     defaults.update(kwargs)
-    sim = Simulator(SimulationConfig(**defaults))
+    sim = Simulator(SimulationConfig(**defaults), core=core)
     for _ in range(300):  # reach steady occupancy before timing
         sim.step()
     return sim
+
+
+def cycles_per_second(core: str, load: float, *, cycles=1500, repetitions=3, **kwargs):
+    best = 0.0
+    for _ in range(repetitions):
+        sim = make_sim(load, core=core, **kwargs)
+        start = time.perf_counter()
+        for _ in range(cycles):
+            sim.step()
+        best = max(best, cycles / (time.perf_counter() - start))
+    return best
 
 
 class TestEngineSpeed:
@@ -59,6 +72,32 @@ class TestEngineSpeed:
                 sim.step()
 
         benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_active_core_speedup_at_low_load(self):
+        """The active-set core's acceptance bar: at least 2x the legacy
+        full-scan core on the paper-scale 16x16 torus at low load, where
+        idle channels dominate a full scan.  (The measured curve across
+        loads is recorded by perf_smoke.py in BENCH_engine.json; the
+        advantage shrinks toward 1x at saturation, where nearly every
+        channel has real work.)"""
+        load = 0.0002  # 0.004 flits/node/cycle offered
+        legacy = cycles_per_second("legacy", load, radix=16, seed=42)
+        active = cycles_per_second("active", load, radix=16, seed=42)
+        assert active >= 2.0 * legacy, (
+            f"active-set speedup {active / legacy:.2f}x below the 2x bar "
+            f"(active={active:.0f} c/s, legacy={legacy:.0f} c/s)"
+        )
+
+    def test_cores_identical_results_at_speed(self):
+        """Speed must not cost correctness: the benchmark configuration
+        itself delivers identical results on both cores."""
+        config = dict(
+            topology="torus", radix=16, dims=2, rate=0.002,
+            warmup_cycles=200, measure_cycles=600, seed=42,
+        )
+        legacy = Simulator(SimulationConfig(**config), core="legacy").run()
+        active = Simulator(SimulationConfig(**config), core="active").run()
+        assert legacy.to_dict() == active.to_dict()
 
     def test_routing_decisions_per_second(self, benchmark):
         from repro.core import FaultTolerantRouting

@@ -12,12 +12,12 @@ ASCII heatmap.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..router.channels import ChannelKind
 from ..sim.engine import Simulator
+from ..sim.metrics import percentile
 
 
 @dataclass(frozen=True)
@@ -96,16 +96,8 @@ def utilization_heatmap(simulator: Simulator) -> str:
 # ----------------------------------------------------------------------
 # latency distributions
 # ----------------------------------------------------------------------
-def percentile(samples: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile, ``0 <= q <= 100``."""
-    if not samples:
-        raise ValueError("no samples")
-    if not 0 <= q <= 100:
-        raise ValueError("percentile must be in [0, 100]")
-    ordered = sorted(samples)
-    rank = max(1, math.ceil(q / 100 * len(ordered)))
-    return float(ordered[rank - 1])
-
+# ``percentile`` lives in repro.sim.metrics (SimulationResult reports the
+# tail percentiles directly); re-exported here for existing importers.
 
 def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
     """Mean plus the usual tail percentiles."""

@@ -34,7 +34,9 @@ from ..sim.metrics import SimulationResult
 #: configuration (engine semantics, routing decisions, RNG consumption
 #: order, metrics definitions).  Stored results under other tags are
 #: simply never matched.
-CODE_VERSION = "sim-v1"
+# sim-v2: per-batch throughput normalized by observed batch length, and
+# latency tail percentiles added to SimulationResult
+CODE_VERSION = "sim-v2"
 
 #: Environment variable overriding the default store location.
 STORE_ENV = "REPRO_RESULT_STORE"

@@ -25,6 +25,12 @@ existing message machinery:
 
 The transport holds no randomness of its own: attached to a
 deterministic simulator it is itself deterministic.
+
+It drives the engine exclusively through the stable façade surface —
+``sim.enqueue_message`` for ACKs/retransmissions, ``reliability.on_*``
+callbacks for cycle/generation/consumption/fault events — so it is
+agnostic to the engine's scheduling core (active-set or legacy; see
+docs/architecture.md).
 """
 
 from __future__ import annotations

@@ -142,6 +142,8 @@ class PhysicalChannel:
         "buffer_depth",
         "name",
         "transfers",
+        "index",
+        "active",
     )
 
     def __init__(
@@ -177,6 +179,15 @@ class PhysicalChannel:
         #: flits moved over this channel since construction/reset
         #: (instrumentation for utilization analysis)
         self.transfers = 0
+        #: position in the network's construction-ordered channel list.
+        #: The active-set transfer scheduler services channels in
+        #: ascending index order, which reproduces the full-scan engine's
+        #: iteration order exactly (the determinism contract — see
+        #: docs/architecture.md).
+        self.index = -1
+        #: True while registered on the transfer scheduler's work-list
+        #: (kept on the channel so registration is O(1) deduplicated)
+        self.active = False
 
     def free_vc(self, admissible: Sequence[int]) -> Optional[VirtualChannel]:
         """First free virtual channel among the admissible classes, in the

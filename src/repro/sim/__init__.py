@@ -3,10 +3,13 @@
 from .config import SimulationConfig
 from .deadlock import DeadlockError, StuckWorm, stuck_worm_report, stuck_worm_snapshot
 from .engine import Simulator
-from .metrics import SimulationResult, batch_means_ci
+from .metrics import SimulationResult, batch_means_ci, percentile
 from .network import SimNetwork
 from .reconfiguration import ReconfigurationReport, apply_runtime_fault
 from .runner import default_rate_grid, run_point, saturation_utilization, sweep_rates
+from .sampling import GeometricSampler
+from .stages import AllocationStage, GenerationStage, InjectionStage, TransferStage
+from .stats import StatsCollector
 from .traffic import (
     BitReversalTraffic,
     HotspotTraffic,
@@ -17,22 +20,29 @@ from .traffic import (
 )
 
 __all__ = [
+    "AllocationStage",
     "BitReversalTraffic",
     "DeadlockError",
+    "GenerationStage",
+    "GeometricSampler",
     "HotspotTraffic",
+    "InjectionStage",
     "ReconfigurationReport",
     "SimNetwork",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "StatsCollector",
     "StuckWorm",
     "TrafficPattern",
+    "TransferStage",
     "TransposeTraffic",
     "UniformTraffic",
     "apply_runtime_fault",
     "batch_means_ci",
     "default_rate_grid",
     "make_traffic",
+    "percentile",
     "run_point",
     "saturation_utilization",
     "stuck_worm_report",

@@ -1,24 +1,37 @@
-"""Cycle-driven flit-level wormhole simulator.
+"""Cycle-driven flit-level wormhole simulator (pipeline façade).
 
-Each cycle has four phases:
+Each cycle has four phases, one stage object per phase (see
+:mod:`repro.sim.stages`):
 
-1. **Generation** — every healthy node generates a message with
-   probability ``rate`` (geometric interarrival) for a destination chosen
-   by the traffic pattern; generated messages queue at the source.
-2. **Injection** — a node whose queue is non-empty and which has fewer
-   than ``injection_limit`` previously injected messages still in the
-   node starts transmitting the next message on a free injection virtual
-   channel.
-3. **Route/VC allocation** — each router module processes one incoming
-   header (round-robin among its input virtual channels holding an
-   eligible header): the routing logic picks the output channel and the
-   admissible virtual channel classes; the header is allocated the first
-   free one, extending the worm.
-4. **Flit transfer** — every physical channel moves at most one flit
-   (demand time-multiplexed round-robin over its allocated virtual
-   channels whose upstream flit is eligible and whose buffer has space).
-   Flits entering a module input buffer become eligible after the router
-   timing delay; flits entering a consumption channel are delivered.
+1. **Generation** (:class:`~repro.sim.stages.GenerationStage`) — every
+   healthy node generates a message with probability ``rate`` (geometric
+   interarrival) for a destination chosen by the traffic pattern;
+   generated messages queue at the source.
+2. **Injection** (:class:`~repro.sim.stages.InjectionStage`) — a node
+   whose queue is non-empty and which has fewer than ``injection_limit``
+   previously injected messages still in the node starts transmitting
+   the next message on a free injection virtual channel.
+3. **Route/VC allocation** (:class:`~repro.sim.stages.AllocationStage`)
+   — each router module processes one incoming header (round-robin among
+   its input virtual channels holding an eligible header): the routing
+   logic picks the output channel and the admissible virtual channel
+   classes; the header is allocated the first free one, extending the
+   worm.
+4. **Flit transfer** (:class:`~repro.sim.stages.TransferStage`) — every
+   physical channel moves at most one flit (demand time-multiplexed
+   round-robin over its allocated virtual channels whose upstream flit
+   is eligible and whose buffer has space).  Flits entering a module
+   input buffer become eligible after the router timing delay; flits
+   entering a consumption channel are delivered.
+
+The :class:`Simulator` is a thin façade over the stages plus a
+:class:`~repro.sim.stats.StatsCollector`.  Two interchangeable cores
+exist (``core="active"``/``"legacy"``, or the ``REPRO_SIM_CORE``
+environment variable): the default active-set core visits only sources,
+modules and channels with pending work, the legacy core reproduces the
+original full-scan loops.  Both produce bit-for-bit identical results
+(``tests/test_engine_parity.py``); the active core is simply faster at
+low-to-moderate load.  docs/architecture.md has the full design.
 
 A watchdog aborts if nothing moves for ``deadlock_threshold`` cycles
 while messages are in flight (executable deadlock-freedom check).
@@ -26,25 +39,47 @@ while messages are in flight (executable deadlock-freedom check).
 
 from __future__ import annotations
 
+import os
 import random
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Set
 
-from ..router.channels import ChannelKind, VirtualChannel
 from ..router.messages import Message
 from ..router.modules import Module
 from ..topology import Coord, is_bisection_message
 from .config import SimulationConfig
 from .deadlock import DeadlockError, stuck_worm_snapshot
-from .metrics import SimulationResult, batch_means_ci
+from .metrics import SimulationResult, batch_means_ci, percentile
 from .network import SimNetwork
+from .stages import AllocationStage, GenerationStage, InjectionStage, TransferStage
+from .stats import StatsCollector
 from .traffic import make_traffic
+
+#: environment override for the default simulation core
+_CORE_ENV = "REPRO_SIM_CORE"
+_CORES = ("active", "legacy")
 
 
 class Simulator:
-    """One simulation run over a static network and fault scenario."""
+    """One simulation run over a static network and fault scenario.
 
-    def __init__(self, config: SimulationConfig, network: Optional[SimNetwork] = None):
+    ``core`` selects the scheduling strategy: ``"active"`` (default) uses
+    event-driven work-lists, ``"legacy"`` the original full scans.  Both
+    are result-identical; ``REPRO_SIM_CORE`` sets the default.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        network: Optional[SimNetwork] = None,
+        *,
+        core: Optional[str] = None,
+    ):
+        if core is None:
+            core = os.environ.get(_CORE_ENV, "active")
+        if core not in _CORES:
+            raise ValueError(f"unknown simulation core {core!r}; expected one of {_CORES}")
+        self.core = core
         self.config = config
         if network is not None:
             network.reset()  # drop any worms left over from a previous run
@@ -89,24 +124,15 @@ class Simulator:
         self.killed_in_flight = 0
         self.killed_queued = 0
 
-        # statistics (reset at the warmup boundary)
-        self.generated = 0
-        self.injected = 0
-        self.delivered = 0
-        self.delivered_flits = 0
-        self.bisection_messages = 0
-        self.latency_sum = 0.0
-        self.queueing_sum = 0.0
-        self.misrouted_messages = 0
-        self.misroute_hop_sum = 0
-        self._measuring = False
-        #: raw per-message latency samples (collected when
-        #: config.collect_latencies is set; for histograms/percentiles)
-        self.latency_samples: List[int] = []
-        self._batch_flits: List[int] = []
-        self._batch_lat_sum: List[float] = []
-        self._batch_lat_count: List[int] = []
-        self._current_batch = 0
+        #: measurement-window statistics (reset at the warmup boundary)
+        self.stats = StatsCollector(config.collect_latencies)
+
+        # the pipeline; transfer first so the upstream stages can register
+        # channels on its work-list
+        self.transfer = TransferStage(self)
+        self.allocation = AllocationStage(self, self.transfer)
+        self.injection = InjectionStage(self, self.transfer)
+        self.generation = GenerationStage(self)
 
     # ------------------------------------------------------------------
     # public driver
@@ -117,8 +143,9 @@ class Simulator:
             self.step()
         self._start_measurement()
         batch_len = max(1, config.measure_cycles // config.batches)
+        stats = self.stats
         for cycle_index in range(config.measure_cycles):
-            self._current_batch = min(cycle_index // batch_len, config.batches - 1)
+            stats.current_batch = min(cycle_index // batch_len, config.batches - 1)
             self.step()
         return self._result()
 
@@ -129,10 +156,12 @@ class Simulator:
         if self.cycle_hooks:
             for hook in self.cycle_hooks:
                 hook(now)
-        self._generate(now)
-        self._inject(now)
-        progress = self._allocate(now)
-        progress = self._transfer(now) or progress
+        if self.stats.measuring:
+            self.stats.on_cycle()
+        self.generation.run(now)
+        self.injection.run(now)
+        progress = self.allocation.run(now)
+        progress = self.transfer.run(now) or progress
         if progress:
             self._last_progress = now
         elif self.in_flight > 0 and now - self._last_progress >= self.config.deadlock_threshold:
@@ -141,40 +170,8 @@ class Simulator:
         self.now = now + 1
 
     # ------------------------------------------------------------------
-    # phase 1: generation
+    # message entry points
     # ------------------------------------------------------------------
-    def _generate(self, now: int) -> None:
-        rate = self.config.rate
-        if rate <= 0.0:
-            return
-        rng_random = self.gen_rng.random
-        length = self.config.message_length
-        topology = self.net.topology
-        routing = self.net.routing
-        reliability = self.reliability
-        for coord in self.net.healthy:
-            if rng_random() >= rate:
-                continue
-            dst = self.traffic.destination(coord)
-            if dst is None:
-                continue
-            self._msg_counter += 1
-            message = Message(
-                self._msg_counter,
-                coord,
-                dst,
-                length,
-                routing.initial_state(coord, dst),
-                now,
-                is_bisection_message(coord, dst, topology),
-            )
-            self.queues[coord].append(message)
-            self._active_sources.add(coord)
-            if reliability is not None:
-                reliability.on_generated(message)
-            if self._measuring:
-                self.generated += 1
-
     def inject_message(self, src: Coord, dst: Coord) -> Message:
         """Queue one explicit message (used by tests and examples that
         drive the simulator without a stochastic traffic pattern)."""
@@ -230,158 +227,7 @@ class Simulator:
         return message
 
     # ------------------------------------------------------------------
-    # phase 2: injection
-    # ------------------------------------------------------------------
-    def _inject(self, now: int) -> None:
-        if not self._active_sources:
-            return
-        limit = self.config.injection_limit
-        done: List[Coord] = []
-        for coord in self._active_sources:
-            queue = self.queues[coord]
-            if not queue:
-                done.append(coord)
-                continue
-            if self.outstanding[coord] >= limit:
-                continue
-            channel = self.net.nodes[coord].injection_channel
-            message = queue[0]
-            base = self.net.base_classes
-            bank = range(message.protocol * base, (message.protocol + 1) * base)
-            vc = channel.free_vc(bank)
-            if vc is None:
-                continue
-            queue.popleft()
-            vc.message = message
-            vc.upstream = message.source
-            channel.busy.append(vc)
-            message.injected_cycle = now
-            self.outstanding[coord] += 1
-            self.in_flight += 1
-            if self._measuring:
-                self.injected += 1
-            if not queue:
-                done.append(coord)
-        for coord in done:
-            self._active_sources.discard(coord)
-
-    # ------------------------------------------------------------------
-    # phase 3: route computation + virtual channel allocation
-    # ------------------------------------------------------------------
-    def _allocate(self, now: int) -> bool:
-        if not self._modules_waiting:
-            return False
-        routing = self.net.routing
-        share_idle = self.config.effective_sharing
-        nodes = self.net.nodes
-        progress = False
-        finished: List[Module] = []
-        for module in self._modules_waiting:
-            waiting = module.waiting
-            if not waiting:
-                finished.append(module)
-                continue
-            count = len(waiting)
-            start = module.rr % count
-            for offset in range(count):
-                vc = waiting[(start + offset) % count]
-                eligible = vc.eligible
-                if not eligible or eligible[0] > now:
-                    continue
-                resolution = vc.cached_resolution
-                if resolution is None:
-                    node = nodes[module.node_coord]
-                    resolution = node.resolve(module, vc.message, routing, share_idle)
-                    vc.cached_resolution = resolution
-                downstream = resolution.channel.free_vc(resolution.classes)
-                if downstream is None:
-                    continue
-                if resolution.commit_decision is not None:
-                    routing.commit_hop(
-                        vc.message.route, module.node_coord, resolution.commit_decision
-                    )
-                downstream.message = vc.message
-                downstream.upstream = vc
-                resolution.channel.busy.append(downstream)
-                vc.waiting_route = False
-                vc.cached_resolution = None
-                waiting.remove(vc)
-                module.rr = start + offset + 1
-                progress = True
-                break  # one header per module per cycle
-            if not waiting:
-                finished.append(module)
-        for module in finished:
-            self._modules_waiting.pop(module, None)
-        return progress
-
-    # ------------------------------------------------------------------
-    # phase 4: flit transfers
-    # ------------------------------------------------------------------
-    def _transfer(self, now: int) -> bool:
-        progress = False
-        timing = self.config.timing
-        header_delay = timing.header_delay
-        data_delay = timing.data_delay
-        internode = ChannelKind.INTERNODE
-        consumption = ChannelKind.CONSUMPTION
-        waiting_set = self._modules_waiting
-        for channel in self.net.channels:
-            busy = channel.busy
-            if not busy:
-                continue
-            count = len(busy)
-            start = channel.rr % count
-            for offset in range(count):
-                vc = busy[(start + offset) % count]
-                message = vc.message
-                if vc.received >= message.length:
-                    # Whole worm already received; the VC is only draining
-                    # downstream.  Its upstream reference is stale (that VC
-                    # may have been released and re-allocated), so it must
-                    # not pull again.
-                    continue
-                upstream = vc.upstream
-                if not upstream.has_eligible_flit(now):
-                    continue
-                kind = channel.kind
-                if kind is consumption:
-                    upstream.pop_flit()
-                    vc.received += 1
-                    vc.sent += 1
-                    if vc.received == message.length:
-                        message.consumed_cycle = now
-                        self._on_consumed(message)
-                        channel.release(vc)
-                else:
-                    if vc.received - vc.sent >= channel.buffer_depth:
-                        continue
-                    upstream.pop_flit()
-                    is_header = vc.received == 0
-                    vc.received += 1
-                    vc.eligible.append(now + (header_delay if is_header else data_delay))
-                    if is_header:
-                        module = channel.dst_module
-                        if module is not None:
-                            module.waiting.append(vc)
-                            vc.waiting_route = True
-                            waiting_set[module] = None
-                    if (
-                        not message.exited_source
-                        and kind is internode
-                        and vc.received == message.length
-                    ):
-                        message.exited_source = True
-                        self.outstanding[message.src] -= 1
-                        self._active_sources.add(message.src)
-                if type(upstream) is VirtualChannel and upstream.sent == message.length:
-                    upstream.channel.release(upstream)
-                channel.transfers += 1
-                channel.rr = (start + offset + 1) % count
-                progress = True
-                break  # one flit per physical channel per cycle
-        return progress
-
+    # delivery
     # ------------------------------------------------------------------
     def _on_consumed(self, message: Message) -> None:
         self.in_flight -= 1
@@ -396,22 +242,9 @@ class Simulator:
             # transport ACKs ride the network but are overhead, not
             # workload: keep them out of the paper's delivered metrics
             return
-        if not self._measuring:
+        if not self.stats.measuring:
             return
-        self.delivered += 1
-        self.delivered_flits += message.length
-        self._batch_flits[self._current_batch] += message.length
-        self.latency_sum += message.latency
-        if self.config.collect_latencies:
-            self.latency_samples.append(message.latency)
-        self.queueing_sum += message.queueing_delay
-        self._batch_lat_sum[self._current_batch] += message.latency
-        self._batch_lat_count[self._current_batch] += 1
-        if message.is_bisection:
-            self.bisection_messages += 1
-        if message.route.misroute_hops:
-            self.misrouted_messages += 1
-            self.misroute_hop_sum += message.route.misroute_hops
+        self.stats.on_delivered(message)
 
     def _send_reply(self, request: Message) -> None:
         """Request-reply protocol: the consumer answers on the reply bank
@@ -431,26 +264,65 @@ class Simulator:
         self._active_sources.add(request.dst)
         if self.reliability is not None:
             self.reliability.on_generated(reply)
-        if self._measuring:
-            self.generated += 1
+        if self.stats.measuring:
+            self.stats.generated += 1
 
     def _start_measurement(self) -> None:
-        self._measuring = True
-        batches = self.config.batches
-        self._batch_flits = [0] * batches
-        self._batch_lat_sum = [0.0] * batches
-        self._batch_lat_count = [0] * batches
+        self.stats.start_measurement(self.config.batches)
+
+    # ------------------------------------------------------------------
+    # statistics compatibility surface (campaigns, tools and tests read
+    # these counters directly off the simulator)
+    # ------------------------------------------------------------------
+    @property
+    def _measuring(self) -> bool:
+        return self.stats.measuring
+
+    @property
+    def generated(self) -> int:
+        return self.stats.generated
+
+    @property
+    def injected(self) -> int:
+        return self.stats.injected
+
+    @property
+    def delivered(self) -> int:
+        return self.stats.delivered
+
+    @property
+    def delivered_flits(self) -> int:
+        return self.stats.delivered_flits
+
+    @property
+    def bisection_messages(self) -> int:
+        return self.stats.bisection_messages
+
+    @property
+    def latency_sum(self) -> float:
+        return self.stats.latency_sum
+
+    @property
+    def queueing_sum(self) -> float:
+        return self.stats.queueing_sum
+
+    @property
+    def misrouted_messages(self) -> int:
+        return self.stats.misrouted_messages
+
+    @property
+    def latency_samples(self) -> List[int]:
+        return self.stats.latency_samples
 
     # ------------------------------------------------------------------
     def _result(self) -> SimulationResult:
         config = self.config
+        stats = self.stats
         cycles = config.measure_cycles
-        delivered = self.delivered
-        batch_latencies = [
-            s / c for s, c in zip(self._batch_lat_sum, self._batch_lat_count) if c
-        ]
+        delivered = stats.delivered
+        batch_latencies = stats.batch_latencies()
         _mean, latency_ci = batch_means_ci(batch_latencies)
-        batch_len = max(1, cycles // config.batches)
+        samples = stats.latency_samples
         return SimulationResult(
             topology=config.topology,
             radix=config.radix,
@@ -463,25 +335,29 @@ class Simulator:
             num_vcs=self.net.num_classes,
             seed=config.seed,
             cycles=cycles,
-            generated=self.generated,
-            injected=self.injected,
+            generated=stats.generated,
+            injected=stats.injected,
             delivered=delivered,
-            delivered_flits=self.delivered_flits,
-            bisection_messages=self.bisection_messages,
+            delivered_flits=stats.delivered_flits,
+            bisection_messages=stats.bisection_messages,
             bisection_bandwidth=self.net.bisection_bandwidth,
-            avg_latency=self.latency_sum / delivered if delivered else 0.0,
+            avg_latency=stats.latency_sum / delivered if delivered else 0.0,
             latency_ci=latency_ci,
-            avg_queueing=self.queueing_sum / delivered if delivered else 0.0,
-            misrouted_messages=self.misrouted_messages,
+            avg_queueing=stats.queueing_sum / delivered if delivered else 0.0,
+            latency_p50=percentile(samples, 50) if samples else 0.0,
+            latency_p95=percentile(samples, 95) if samples else 0.0,
+            latency_p99=percentile(samples, 99) if samples else 0.0,
+            misrouted_messages=stats.misrouted_messages,
             avg_misroute_hops=(
-                self.misroute_hop_sum / self.misrouted_messages
-                if self.misrouted_messages
+                stats.misroute_hop_sum / stats.misrouted_messages
+                if stats.misrouted_messages
                 else 0.0
             ),
             final_source_queue=sum(len(q) for q in self.queues.values()),
             in_flight_at_end=self.in_flight,
-            batch_flits=[flits / batch_len for flits in self._batch_flits],
+            batch_flits=stats.normalized_batch_flits(),
             batch_latency=batch_latencies,
+            batch_cycles=list(stats.batch_cycles),
             **self._survivability_fields(),
         )
 

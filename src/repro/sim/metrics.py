@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import asdict, dataclass, field, fields
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 # two-sided 97.5% Student-t quantiles for small degrees of freedom
 _T_975 = {
@@ -45,6 +45,17 @@ def batch_means_ci(batch_values: List[float]) -> Tuple[float, float]:
     variance = sum((v - mean) ** 2 for v in batch_values) / (n - 1)
     half = t_quantile_975(n - 1) * math.sqrt(variance / n)
     return mean, half
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, ``0 <= q <= 100``."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return float(ordered[rank - 1])
 
 
 @dataclass
@@ -82,9 +93,19 @@ class SimulationResult:
     final_source_queue: int
     in_flight_at_end: int
 
-    #: per-batch (delivered flits, latency sum, delivered count) triples
+    #: latency tail percentiles (nearest-rank, from the raw per-message
+    #: samples; 0.0 unless the run used ``collect_latencies``)
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+
+    #: per-batch delivered flits normalized by each batch's *observed*
+    #: cycle count, and the matching per-batch mean latencies
     batch_flits: List[float] = field(default_factory=list, repr=False)
     batch_latency: List[float] = field(default_factory=list, repr=False)
+    #: cycles actually stepped while each batch was current (uneven
+    #: divisions give the last batch the remainder)
+    batch_cycles: List[int] = field(default_factory=list, repr=False)
 
     # --- survivability (runtime faults and the reliability layer) ------
     #: runtime fault events injected over the whole run

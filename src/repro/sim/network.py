@@ -118,6 +118,7 @@ class SimNetwork:
         channel = PhysicalChannel(
             kind, self.num_classes, buffer_depth=self.config.buffer_depth, **kwargs
         )
+        channel.index = len(self.channels)
         self.channels.append(channel)
         return channel
 
@@ -195,6 +196,7 @@ class SimNetwork:
             channel.busy.clear()
             channel.rr = 0
             channel.transfers = 0
+            channel.active = False
         for module in self.modules:
             module.waiting.clear()
             module.rr = 0

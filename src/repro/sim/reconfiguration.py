@@ -140,6 +140,9 @@ def apply_runtime_fault(
         node.on_ring = coord in ring_nodes
 
     _unwire(net, dying_channels, dead_nodes)
+    # dying channels left the channel list and killed worms freed their
+    # VCs wholesale: rebuild the transfer work-list from scratch
+    simulator.transfer.resync()
 
     # stale route resolutions refer to the old fault view
     for module in net.modules:

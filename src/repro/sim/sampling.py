@@ -1,0 +1,151 @@
+"""Stream-exact batched traffic sampling (the geometric skip-ahead).
+
+The generation phase draws one uniform per healthy node per cycle and
+generates a message where the draw falls below ``rate`` (geometric
+interarrival, Section 6).  At the low-to-moderate rates where the
+paper's latency/throughput curves live almost every draw is a miss, yet
+the straightforward loop pays a Python-level RNG call for each one.
+
+:class:`GeometricSampler` removes that cost without changing a single
+simulation outcome.  It materializes the *identical* Mersenne Twister
+stream in blocks — many cycles' worth of draws at once — and hands the
+engine only the hit positions, so idle sources never reach Python at
+all.  Two implementation paths:
+
+* **numpy block path** — the sampler transplants the ``random.Random``
+  state into a ``numpy.random.RandomState`` (both are MT19937 and both
+  derive doubles from the same two-word construction, so the streams are
+  bit-identical), draws a whole block at C speed, extracts hits with
+  ``flatnonzero``, and remembers the end-of-block state.  The geometric
+  gaps between hits are skipped inside the block instead of being
+  simulated draw by draw.
+* **pure-Python fallback** — when numpy is unavailable the sampler
+  degrades to a tight per-cycle comprehension with the same consumption
+  order.
+
+Exactness contract: for a given ``(nodes, rate)`` the sampler consumes
+``nodes`` draws per cycle in node order, exactly like the per-node loop.
+If the population size or the rate changes mid-block (a runtime fault
+shrank the healthy set; ``drain`` zeroed the rate), the sampler rewinds
+the underlying RNG to the first unconsumed draw before re-drawing, so
+the stream never skips or repeats a value.  The engine-side rule that
+makes this sound: the engine consumes **no** draws while ``rate <= 0``
+(matching the legacy loop's early return), and nobody else may draw from
+the generation RNG mid-run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+try:  # the sampler is optional-dependency tolerant by design
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+#: target doubles per numpy block draw; bounds both memory (8 bytes per
+#: draw) and the cost of a mid-block rewind (a rewind re-materializes at
+#: most one block's worth of consumed draws)
+_BLOCK_TARGET = 32_768
+
+
+def _to_numpy_state(state):
+    """``random.Random.getstate()`` -> ``RandomState.set_state`` tuple."""
+    return ("MT19937", _np.asarray(state[1][:-1], dtype=_np.uint32), state[1][-1])
+
+
+def _from_numpy_state(ns):
+    """``RandomState.get_state()`` -> ``random.Random.setstate`` tuple."""
+    return (3, tuple(int(word) for word in ns[1]) + (int(ns[2]),), None)
+
+
+class _Block:
+    """One materialized span of the generation stream."""
+
+    __slots__ = ("nodes", "rate", "cycles", "used", "hits", "start_state", "end_state")
+
+    def __init__(self, nodes: int, rate: float, cycles: int, hits, start_state, end_state):
+        self.nodes = nodes
+        self.rate = rate
+        self.cycles = cycles
+        #: cycles already handed to the engine
+        self.used = 0
+        #: cycle offset -> sorted node indices that generate that cycle
+        self.hits: Dict[int, List[int]] = hits
+        #: python-rng state at the first draw of the block (rewind anchor)
+        self.start_state = start_state
+        #: python-rng state after the whole block (committed on exhaustion)
+        self.end_state = end_state
+
+
+class GeometricSampler:
+    """Per-cycle generation hits, bit-identical to the per-node loop.
+
+    The sampler owns the pacing of ``rng``: while a block is partially
+    consumed the ``random.Random`` object still holds the state of the
+    block's *first* draw, and is fast-forwarded (or rewound to the exact
+    unconsumed position) whenever the block ends or its parameters stop
+    matching.  External code must not draw from ``rng`` between cycles.
+    """
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self._block: Optional[_Block] = None
+
+    # ------------------------------------------------------------------
+    def next_cycle(self, nodes: int, rate: float) -> List[int]:
+        """Node indices that generate this cycle (consumes ``nodes``
+        draws from the stream, in node order)."""
+        if nodes <= 0:
+            return []
+        if _np is None:
+            rng_random = self.rng.random
+            return [i for i in range(nodes) if rng_random() < rate]
+        block = self._block
+        if block is None or block.nodes != nodes or block.rate != rate:
+            self._rewind()
+            block = self._draw(nodes, rate)
+        hits = block.hits.pop(block.used, _EMPTY)
+        block.used += 1
+        if block.used == block.cycles:
+            self.rng.setstate(block.end_state)
+            self._block = None
+        return hits
+
+    def flush(self) -> None:
+        """Fold any partially consumed block back into ``rng`` so its
+        state is exactly "everything handed out so far".  Call before
+        external code inspects or shares the generation RNG."""
+        self._rewind()
+
+    # ------------------------------------------------------------------
+    def _draw(self, nodes: int, rate: float) -> _Block:
+        cycles = max(1, _BLOCK_TARGET // nodes)
+        start_state = self.rng.getstate()
+        rs = _np.random.RandomState()
+        rs.set_state(_to_numpy_state(start_state))
+        draws = rs.random_sample(nodes * cycles)
+        hits: Dict[int, List[int]] = {}
+        for flat in _np.flatnonzero(draws < rate).tolist():
+            hits.setdefault(flat // nodes, []).append(flat % nodes)
+        block = _Block(
+            nodes, rate, cycles, hits, start_state, _from_numpy_state(rs.get_state())
+        )
+        self._block = block
+        return block
+
+    def _rewind(self) -> None:
+        """Reposition ``rng`` at the first unconsumed draw of the current
+        block (no-op when no block is outstanding)."""
+        block = self._block
+        self._block = None
+        if block is None or block.used == 0:
+            return
+        rs = _np.random.RandomState()
+        rs.set_state(_to_numpy_state(block.start_state))
+        rs.random_sample(block.used * block.nodes)
+        self.rng.setstate(_from_numpy_state(rs.get_state()))
+
+
+_EMPTY: List[int] = []

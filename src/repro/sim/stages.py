@@ -1,0 +1,367 @@
+"""The four pipeline stages of the simulation core.
+
+Each cycle the :class:`~repro.sim.engine.Simulator` façade runs, in
+order: :class:`GenerationStage`, :class:`InjectionStage`,
+:class:`AllocationStage`, :class:`TransferStage`.  The stage split keeps
+each phase's state and wakeup discipline in one object; the shared
+dynamic state (source queues, outstanding counts, the waiting-module
+set, in-flight accounting) stays on the simulator, which every stage
+holds a reference to.
+
+Two cores share these stage objects (``Simulator(core=...)``):
+
+* ``"active"`` (default) — the event-driven active-set core.  Sources
+  enter the injection work-list only when they hold queued messages,
+  modules enter the allocation work-list only when a header arrives
+  (the engine's long-standing ``_modules_waiting`` pattern), channels
+  enter the transfer work-list only while a virtual channel is busy on
+  them, and generation skips idle sources through the
+  :class:`~repro.sim.sampling.GeometricSampler` block stream.
+* ``"legacy"`` — the seed engine's full-scan algorithm: every healthy
+  node draws inline and every physical channel is visited every cycle.
+
+Both cores execute the *same* per-node / per-channel decision code in
+the same order, so their results are bit-for-bit identical — the parity
+guarantee ``tests/test_engine_parity.py`` enforces (see
+docs/architecture.md for the ordering argument).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import TYPE_CHECKING, List
+
+from ..router.channels import ChannelKind, PhysicalChannel, VirtualChannel
+from ..router.messages import Message
+from ..router.modules import Module
+from ..topology import is_bisection_message
+from .sampling import GeometricSampler
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import cycle guard
+    from .engine import Simulator
+
+
+def _channel_index(channel: PhysicalChannel) -> int:
+    return channel.index
+
+
+class GenerationStage:
+    """Phase 1: every healthy node generates a message with probability
+    ``rate`` for a destination chosen by the traffic pattern; generated
+    messages queue at the source.
+
+    The active core consumes the generation stream through the block
+    sampler, so cycles and nodes that generate nothing never execute any
+    per-node Python; the legacy core draws inline per node.  Both
+    consume the RNG stream in identical order.
+    """
+
+    __slots__ = ("sim", "sampler")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.sampler = GeometricSampler(sim.gen_rng) if sim.core == "active" else None
+
+    def run(self, now: int) -> None:
+        sim = self.sim
+        rate = sim.config.rate
+        if rate <= 0.0:
+            return
+        healthy = sim.net.healthy
+        if self.sampler is not None:
+            hits = self.sampler.next_cycle(len(healthy), rate)
+            for index in hits:
+                self._generate_at(healthy[index], now)
+        else:
+            rng_random = sim.gen_rng.random
+            for coord in healthy:
+                if rng_random() >= rate:
+                    continue
+                self._generate_at(coord, now)
+
+    def _generate_at(self, coord, now: int) -> None:
+        sim = self.sim
+        dst = sim.traffic.destination(coord)
+        if dst is None:
+            return
+        sim._msg_counter += 1
+        message = Message(
+            sim._msg_counter,
+            coord,
+            dst,
+            sim.config.message_length,
+            sim.net.routing.initial_state(coord, dst),
+            now,
+            is_bisection_message(coord, dst, sim.net.topology),
+        )
+        sim.queues[coord].append(message)
+        sim._active_sources.add(coord)
+        if sim.reliability is not None:
+            sim.reliability.on_generated(message)
+        if sim.stats.measuring:
+            sim.stats.generated += 1
+
+
+class InjectionStage:
+    """Phase 2: a node whose queue is non-empty and which has fewer than
+    ``injection_limit`` previously injected messages still in the node
+    starts transmitting the next message on a free injection virtual
+    channel.  Idle sources are never visited: a source is on
+    ``sim._active_sources`` only while it holds queued messages."""
+
+    __slots__ = ("sim", "transfer")
+
+    def __init__(self, sim: "Simulator", transfer: "TransferStage"):
+        self.sim = sim
+        self.transfer = transfer
+
+    def run(self, now: int) -> None:
+        sim = self.sim
+        sources = sim._active_sources
+        if not sources:
+            return
+        limit = sim.config.injection_limit
+        activate = self.transfer.activate
+        stats = sim.stats
+        done: List = []
+        for coord in sources:
+            queue = sim.queues[coord]
+            if not queue:
+                done.append(coord)
+                continue
+            if sim.outstanding[coord] >= limit:
+                continue
+            channel = sim.net.nodes[coord].injection_channel
+            message = queue[0]
+            base = sim.net.base_classes
+            bank = range(message.protocol * base, (message.protocol + 1) * base)
+            vc = channel.free_vc(bank)
+            if vc is None:
+                continue
+            queue.popleft()
+            vc.message = message
+            vc.upstream = message.source
+            channel.busy.append(vc)
+            activate(channel)
+            message.injected_cycle = now
+            sim.outstanding[coord] += 1
+            sim.in_flight += 1
+            if stats.measuring:
+                stats.injected += 1
+            if not queue:
+                done.append(coord)
+        for coord in done:
+            sources.discard(coord)
+
+
+class AllocationStage:
+    """Phase 3: each router module processes one incoming header
+    (round-robin among its input virtual channels holding an eligible
+    header): the routing logic picks the output channel and the
+    admissible virtual channel classes; the header is allocated the
+    first free one, extending the worm.
+
+    Modules wake only when a header arrives: the engine's
+    ``_modules_waiting`` insertion-ordered dict (a set of Modules would
+    iterate in ``id()`` order, which varies run to run and breaks
+    bit-for-bit determinism when two modules race for one downstream
+    VC)."""
+
+    __slots__ = ("sim", "transfer")
+
+    def __init__(self, sim: "Simulator", transfer: "TransferStage"):
+        self.sim = sim
+        self.transfer = transfer
+
+    def run(self, now: int) -> bool:
+        sim = self.sim
+        waiting_set = sim._modules_waiting
+        if not waiting_set:
+            return False
+        routing = sim.net.routing
+        share_idle = sim.config.effective_sharing
+        nodes = sim.net.nodes
+        activate = self.transfer.activate
+        progress = False
+        finished: List[Module] = []
+        for module in waiting_set:
+            waiting = module.waiting
+            if not waiting:
+                finished.append(module)
+                continue
+            count = len(waiting)
+            start = module.rr % count
+            for offset in range(count):
+                vc = waiting[(start + offset) % count]
+                eligible = vc.eligible
+                if not eligible or eligible[0] > now:
+                    continue
+                resolution = vc.cached_resolution
+                if resolution is None:
+                    node = nodes[module.node_coord]
+                    resolution = node.resolve(module, vc.message, routing, share_idle)
+                    vc.cached_resolution = resolution
+                downstream = resolution.channel.free_vc(resolution.classes)
+                if downstream is None:
+                    continue
+                if resolution.commit_decision is not None:
+                    routing.commit_hop(
+                        vc.message.route, module.node_coord, resolution.commit_decision
+                    )
+                downstream.message = vc.message
+                downstream.upstream = vc
+                resolution.channel.busy.append(downstream)
+                activate(resolution.channel)
+                vc.waiting_route = False
+                vc.cached_resolution = None
+                waiting.remove(vc)
+                # Bounded by construction: start < count and offset < count,
+                # so rr <= 2*count - 1 (tests/test_router_modules.py asserts
+                # the invariant).  Do NOT reduce this modulo count: the next
+                # arbitration reduces by the *new* waiting length, so storing
+                # rr % count changes which header is served when the list has
+                # shrunk or grown in between — empirically enough to push one
+                # fault-campaign scenario into a watchdog deadlock.
+                module.rr = start + offset + 1
+                progress = True
+                break  # one header per module per cycle
+            if not waiting:
+                finished.append(module)
+        for module in finished:
+            waiting_set.pop(module, None)
+        return progress
+
+
+class TransferStage:
+    """Phase 4: every physical channel moves at most one flit (demand
+    time-multiplexed round-robin over its allocated virtual channels
+    whose upstream flit is eligible and whose buffer has space).  Flits
+    entering a module input buffer become eligible after the router
+    timing delay; flits entering a consumption channel are delivered.
+
+    The active core services only channels on its work-list: a channel
+    registers (``activate``) when a virtual channel is allocated on it
+    and lazily drops off once its busy list empties.  The work-list is
+    kept sorted by construction index, which makes its service order a
+    subsequence of the legacy full scan — channels with no busy VC are
+    exactly the ones the full scan skips, so both cores execute the same
+    transfers in the same order."""
+
+    __slots__ = ("sim", "active_set", "_active")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.active_set = sim.core == "active"
+        self._active: List[PhysicalChannel] = []
+
+    # -- work-list maintenance ------------------------------------------
+    def activate(self, channel: PhysicalChannel) -> None:
+        """Register a channel that just had a virtual channel allocated
+        on it.  O(1) when already registered; ordered insert otherwise."""
+        if not self.active_set or channel.active:
+            return
+        channel.active = True
+        insort(self._active, channel, key=_channel_index)
+
+    def resync(self) -> None:
+        """Rebuild the work-list from the network's channel list (after a
+        reconfiguration removed channels or released worms wholesale)."""
+        if not self.active_set:
+            return
+        for channel in self._active:
+            channel.active = False
+        self._active = [ch for ch in self.sim.net.channels if ch.busy]
+        for channel in self._active:
+            channel.active = True
+
+    # -- per-cycle service ----------------------------------------------
+    def run(self, now: int) -> bool:
+        sim = self.sim
+        compact = self.active_set
+        channels = self._active if compact else sim.net.channels
+        progress = False
+        timing = sim.config.timing
+        header_delay = timing.header_delay
+        data_delay = timing.data_delay
+        internode = ChannelKind.INTERNODE
+        consumption = ChannelKind.CONSUMPTION
+        waiting_set = sim._modules_waiting
+        on_consumed = sim._on_consumed
+        outstanding = sim.outstanding
+        active_sources = sim._active_sources
+        write = 0
+        for channel in channels:
+            busy = channel.busy
+            if not busy:
+                if compact:
+                    channel.active = False
+                continue
+            if compact:
+                channels[write] = channel
+                write += 1
+            count = len(busy)
+            start = channel.rr % count
+            for offset in range(count):
+                vc = busy[(start + offset) % count]
+                message = vc.message
+                if vc.received >= message.length:
+                    # Whole worm already received; the VC is only draining
+                    # downstream.  Its upstream reference is stale (that VC
+                    # may have been released and re-allocated), so it must
+                    # not pull again.
+                    continue
+                # eligibility + pop inlined (this is the hottest loop in
+                # the simulator; the method-call forms are
+                # has_eligible_flit / pop_flit on VirtualChannel and
+                # MessageSource)
+                upstream = vc.upstream
+                from_vc = type(upstream) is VirtualChannel
+                if from_vc:
+                    upstream_flits = upstream.eligible
+                    if not upstream_flits or upstream_flits[0] > now:
+                        continue
+                elif upstream.sent >= upstream.length:
+                    continue
+                kind = channel.kind
+                if kind is consumption:
+                    if from_vc:
+                        upstream_flits.popleft()
+                    upstream.sent += 1
+                    vc.received += 1
+                    vc.sent += 1
+                    if vc.received == message.length:
+                        message.consumed_cycle = now
+                        on_consumed(message)
+                        channel.release(vc)
+                else:
+                    if vc.received - vc.sent >= channel.buffer_depth:
+                        continue
+                    if from_vc:
+                        upstream_flits.popleft()
+                    upstream.sent += 1
+                    is_header = vc.received == 0
+                    vc.received += 1
+                    vc.eligible.append(now + (header_delay if is_header else data_delay))
+                    if is_header:
+                        module = channel.dst_module
+                        if module is not None:
+                            module.waiting.append(vc)
+                            vc.waiting_route = True
+                            waiting_set[module] = None
+                    if (
+                        not message.exited_source
+                        and kind is internode
+                        and vc.received == message.length
+                    ):
+                        message.exited_source = True
+                        outstanding[message.src] -= 1
+                        active_sources.add(message.src)
+                if from_vc and upstream.sent == message.length:
+                    upstream.channel.release(upstream)
+                channel.transfers += 1
+                channel.rr = (start + offset + 1) % count
+                progress = True
+                break  # one flit per physical channel per cycle
+        if compact:
+            del channels[write:]
+        return progress

@@ -1,0 +1,118 @@
+"""Measurement-window statistics collection for the simulation core.
+
+:class:`StatsCollector` is the pipeline's fifth object: the four stages
+move flits, the collector turns delivered messages into the numbers
+:class:`~repro.sim.metrics.SimulationResult` reports.  Separating it
+from the engine keeps the measurement rules in one place:
+
+* counters accumulate only while :attr:`measuring` is set (the warmup
+  boundary), except the survivability counters, which live on the
+  simulator and span the whole run;
+* batch statistics divide by the number of cycles *actually observed*
+  per batch (``batch_cycles``), not the nominal ``measure_cycles //
+  batches`` — for uneven divisions the last batch is longer and the old
+  nominal division overstated its throughput;
+* control messages (transport ACKs) ride the network but are overhead,
+  not workload, and never reach these counters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..router.messages import Message
+
+
+class StatsCollector:
+    """Per-run delivery statistics, gated on the measurement window."""
+
+    __slots__ = (
+        "measuring",
+        "collect_latencies",
+        "generated",
+        "injected",
+        "delivered",
+        "delivered_flits",
+        "bisection_messages",
+        "latency_sum",
+        "queueing_sum",
+        "misrouted_messages",
+        "misroute_hop_sum",
+        "latency_samples",
+        "current_batch",
+        "batch_flits",
+        "batch_lat_sum",
+        "batch_lat_count",
+        "batch_cycles",
+    )
+
+    def __init__(self, collect_latencies: bool = False):
+        self.measuring = False
+        self.collect_latencies = collect_latencies
+        self.generated = 0
+        self.injected = 0
+        self.delivered = 0
+        self.delivered_flits = 0
+        self.bisection_messages = 0
+        self.latency_sum = 0.0
+        self.queueing_sum = 0.0
+        self.misrouted_messages = 0
+        self.misroute_hop_sum = 0
+        #: raw per-message latency samples (collected when
+        #: ``collect_latencies`` is set; for histograms/percentiles)
+        self.latency_samples: List[int] = []
+        self.current_batch = 0
+        #: per-batch delivered flits (raw counts; normalized at result time)
+        self.batch_flits: List[int] = []
+        self.batch_lat_sum: List[float] = []
+        self.batch_lat_count: List[int] = []
+        #: cycles actually stepped while each batch was current (the
+        #: uneven-division-safe denominator for per-batch throughput)
+        self.batch_cycles: List[int] = []
+
+    # ------------------------------------------------------------------
+    def start_measurement(self, batches: int) -> None:
+        self.measuring = True
+        self.batch_flits = [0] * batches
+        self.batch_lat_sum = [0.0] * batches
+        self.batch_lat_count = [0] * batches
+        self.batch_cycles = [0] * batches
+
+    def on_cycle(self) -> None:
+        """Called once per stepped cycle while measuring."""
+        self.batch_cycles[self.current_batch] += 1
+
+    # ------------------------------------------------------------------
+    def on_delivered(self, message: Message) -> None:
+        """Record one consumed workload message (measurement window only,
+        control traffic already filtered by the caller)."""
+        batch = self.current_batch
+        self.delivered += 1
+        self.delivered_flits += message.length
+        self.batch_flits[batch] += message.length
+        latency = message.latency
+        self.latency_sum += latency
+        if self.collect_latencies:
+            self.latency_samples.append(latency)
+        self.queueing_sum += message.queueing_delay
+        self.batch_lat_sum[batch] += latency
+        self.batch_lat_count[batch] += 1
+        if message.is_bisection:
+            self.bisection_messages += 1
+        if message.route.misroute_hops:
+            self.misrouted_messages += 1
+            self.misroute_hop_sum += message.route.misroute_hops
+
+    # ------------------------------------------------------------------
+    def batch_latencies(self) -> List[float]:
+        return [
+            s / c for s, c in zip(self.batch_lat_sum, self.batch_lat_count) if c
+        ]
+
+    def normalized_batch_flits(self) -> List[float]:
+        """Per-batch throughput in flits/cycle, using each batch's actual
+        observed length (batches that saw no cycles report 0.0)."""
+        return [
+            flits / cycles if cycles else 0.0
+            for flits, cycles in zip(self.batch_flits, self.batch_cycles)
+        ]

@@ -1,0 +1,196 @@
+"""Cross-engine parity: the active-set core must be bit-for-bit
+result-identical to the legacy full-scan core.
+
+The two cores share the stage implementations but schedule them
+differently (work-lists + block sampling vs. full scans).  Everything
+observable — every counter, every batch statistic, every latency sample
+— must match exactly; any drift means the active-set bookkeeping skipped
+or reordered work.  See docs/architecture.md ("Determinism and the
+engine-parity guarantee").
+"""
+
+import random
+
+import pytest
+
+from repro.sim import SimulationConfig, Simulator
+
+# The fixed-seed configurations the integration suite measures the
+# paper's claims on (tests/test_integration.py), plus the corner cases
+# that stress each scheduler path: crossbars (interchip-free), meshes
+# (2 VCs), 3D, saturation (deep work-lists), hotspot + collected
+# latencies, protocol banks with replies, table routing, uneven batches.
+GOLDEN_CONFIGS = {
+    "int-f0": dict(topology="torus", radix=8, dims=2, rate=0.015,
+                   warmup_cycles=400, measure_cycles=2000, seed=3, fault_percent=0),
+    "int-f1": dict(topology="torus", radix=8, dims=2, rate=0.015,
+                   warmup_cycles=400, measure_cycles=2000, seed=3, fault_percent=1),
+    "int-f5": dict(topology="torus", radix=8, dims=2, rate=0.015,
+                   warmup_cycles=400, measure_cycles=2000, seed=3, fault_percent=5),
+    "crossbar": dict(topology="torus", radix=8, dims=2, rate=0.015,
+                     warmup_cycles=300, measure_cycles=1200, seed=3,
+                     fault_percent=1, router_model="crossbar"),
+    "mesh-f5": dict(topology="mesh", radix=8, dims=2, rate=0.012,
+                    warmup_cycles=300, measure_cycles=1200, seed=11, fault_percent=5),
+    "saturated": dict(topology="torus", radix=8, dims=2, rate=0.05,
+                      warmup_cycles=300, measure_cycles=900, seed=5),
+    "hotspot-latencies": dict(topology="torus", radix=8, dims=2, rate=0.008,
+                              traffic="hotspot", collect_latencies=True,
+                              warmup_cycles=300, measure_cycles=1200, seed=9),
+    "3d": dict(topology="torus", radix=4, dims=3, rate=0.01,
+               warmup_cycles=200, measure_cycles=1000, seed=2),
+    "reqrep": dict(topology="torus", radix=6, dims=2, rate=0.008, protocol_classes=2,
+                   request_reply=True, warmup_cycles=300, measure_cycles=1000, seed=4),
+    "table": dict(topology="torus", radix=8, dims=2, rate=0.01, routing_algorithm="table",
+                  warmup_cycles=300, measure_cycles=1000, seed=6, fault_percent=1),
+    "ecube": dict(topology="torus", radix=8, dims=2, rate=0.012, fault_tolerant=False,
+                  warmup_cycles=200, measure_cycles=1000, seed=8),
+    "uneven-batches": dict(topology="torus", radix=8, dims=2, rate=0.015,
+                           warmup_cycles=200, measure_cycles=1005, batches=10, seed=13),
+    "sharing-all": dict(topology="torus", radix=8, dims=2, rate=0.012,
+                        vc_sharing_mode="all", warmup_cycles=200, measure_cycles=1000,
+                        seed=10, fault_percent=1),
+}
+
+
+def run_core(core, kwargs, *, drain=False, fault=None):
+    config = SimulationConfig(**kwargs)
+    sim = Simulator(config, core=core)
+    if fault is not None:
+        at_cycle, spec = fault
+
+        def bomb(now, sim=sim):
+            if now == at_cycle:
+                sim.inject_runtime_fault(**spec)
+
+        sim.cycle_hooks.append(bomb)
+    result = sim.run()
+    if drain:
+        sim.drain()
+    return sim, result
+
+
+def assert_results_identical(a, b):
+    da, db = a.to_dict(), b.to_dict()
+    assert da.keys() == db.keys()
+    diffs = {k: (da[k], db[k]) for k in da if da[k] != db[k]}
+    assert not diffs, f"cores disagree on: {diffs}"
+
+
+class TestGoldenParity:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CONFIGS))
+    def test_cores_agree(self, name):
+        _, legacy = run_core("legacy", GOLDEN_CONFIGS[name])
+        _, active = run_core("active", GOLDEN_CONFIGS[name])
+        assert_results_identical(legacy, active)
+
+    def test_drain_parity(self):
+        kwargs = GOLDEN_CONFIGS["int-f1"]
+        legacy_sim, legacy = run_core("legacy", kwargs, drain=True)
+        active_sim, active = run_core("active", kwargs, drain=True)
+        assert_results_identical(legacy, active)
+        assert legacy_sim.in_flight == active_sim.in_flight == 0
+        # identical quiescence time: the drained clocks must agree too
+        assert legacy_sim.now == active_sim.now
+        assert legacy_sim._msg_counter == active_sim._msg_counter
+
+    def test_core_selection_surface(self):
+        config = SimulationConfig(topology="torus", radix=4, dims=2, rate=0.01)
+        assert Simulator(config).core == "active"
+        assert Simulator(config, core="legacy").core == "legacy"
+        with pytest.raises(ValueError):
+            Simulator(config, core="warp")
+
+    def test_env_var_selects_core(self, monkeypatch):
+        config = SimulationConfig(topology="torus", radix=4, dims=2, rate=0.01)
+        monkeypatch.setenv("REPRO_SIM_CORE", "legacy")
+        assert Simulator(config).core == "legacy"
+
+
+class TestRuntimeFaultParity:
+    """Mid-run reconfiguration exercises the hard parts of the active
+    core: the sampler must rewind when the healthy population shrinks and
+    the transfer work-list must resync after channels are unwired."""
+
+    FAULT = (900, dict(nodes=[(5, 5)]))
+
+    def test_mid_run_fault_parity(self):
+        kwargs = dict(topology="torus", radix=8, dims=2, rate=0.012,
+                      warmup_cycles=300, measure_cycles=1200, seed=21)
+        legacy_sim, legacy = run_core("legacy", kwargs, drain=True, fault=self.FAULT)
+        active_sim, active = run_core("active", kwargs, drain=True, fault=self.FAULT)
+        assert legacy.fault_events == active.fault_events == 1
+        assert_results_identical(legacy, active)
+        assert legacy_sim.now == active_sim.now
+
+    def test_fault_on_faulty_network_parity(self):
+        from repro.topology import Direction
+
+        kwargs = dict(topology="torus", radix=8, dims=2, rate=0.01, fault_percent=1,
+                      warmup_cycles=300, measure_cycles=1200, seed=17)
+        fault = (800, dict(links=[((1, 1), 0, Direction.POS)]))
+        _, legacy = run_core("legacy", kwargs, drain=True, fault=fault)
+        _, active = run_core("active", kwargs, drain=True, fault=fault)
+        assert_results_identical(legacy, active)
+
+
+class TestRandomizedParity:
+    """Property sweep: random configurations over topology, radix,
+    dimensionality, faults, load, traffic, router organization and
+    protocol banks — the cores must agree on every one of them."""
+
+    @staticmethod
+    def random_config(rng):
+        topology = rng.choice(["torus", "torus", "mesh"])
+        dims = rng.choice([2, 2, 2, 3])
+        radix = rng.choice([4, 5] if dims == 3 else [5, 6, 8])
+        kwargs = dict(
+            topology=topology,
+            radix=radix,
+            dims=dims,
+            rate=round(rng.uniform(0.004, 0.03), 4),
+            warmup_cycles=rng.choice([100, 200]),
+            measure_cycles=rng.choice([400, 600, 700]),
+            seed=rng.randrange(1, 10_000),
+            traffic=rng.choice(["uniform", "uniform", "transpose", "hotspot"]),
+            router_model=rng.choice(["pdr", "pdr", "crossbar"]),
+            batches=rng.choice([10, 20]),
+            collect_latencies=rng.random() < 0.3,
+        )
+        # faults need an even torus radix >= 6 for room to build f-rings
+        if topology == "torus" and dims == 2 and radix in (6, 8):
+            kwargs["fault_percent"] = rng.choice([0, 1, 5])
+        if rng.random() < 0.25:
+            kwargs["protocol_classes"] = 2
+            kwargs["request_reply"] = True
+        return kwargs
+
+    @pytest.mark.parametrize("case_seed", range(8))
+    def test_random_configs_agree(self, case_seed):
+        kwargs = self.random_config(random.Random(20_000 + case_seed))
+        _, legacy = run_core("legacy", kwargs)
+        _, active = run_core("active", kwargs)
+        assert_results_identical(legacy, active)
+
+
+class TestBatchNormalization:
+    """Regression for the uneven-batch throughput bias: 1005 cycles in 10
+    batches gives the last batch 105 cycles; its throughput must be
+    normalized by 105, not the nominal 100."""
+
+    def test_uneven_final_batch_uses_observed_length(self):
+        kwargs = GOLDEN_CONFIGS["uneven-batches"]
+        sim, result = run_core("active", kwargs)
+        assert result.batch_cycles == [100] * 9 + [105]
+        stats = sim.stats
+        for flits, cycles, normalized in zip(
+            stats.batch_flits, result.batch_cycles, result.batch_flits
+        ):
+            assert normalized == flits / cycles
+
+    def test_even_batches_match_nominal_division(self):
+        kwargs = dict(GOLDEN_CONFIGS["uneven-batches"], measure_cycles=1000)
+        sim, result = run_core("active", kwargs)
+        assert result.batch_cycles == [100] * 10
+        for flits, normalized in zip(sim.stats.batch_flits, result.batch_flits):
+            assert normalized == flits / 100

@@ -36,3 +36,45 @@ class TestSerialization:
     def test_json_is_sorted_and_stable(self):
         result = small_result()
         assert result.to_json() == result.to_json()
+
+
+class TestPercentileFields:
+    def latency_result(self):
+        config = SimulationConfig(
+            topology="torus", radix=6, dims=2, rate=0.01, collect_latencies=True,
+            warmup_cycles=100, measure_cycles=600,
+        )
+        return Simulator(config).run()
+
+    def test_percentiles_populated_when_collecting(self):
+        result = self.latency_result()
+        assert result.delivered > 0
+        assert 0 < result.latency_p50 <= result.latency_p95 <= result.latency_p99
+        assert result.latency_p50 <= result.avg_latency <= result.latency_p99
+
+    def test_percentiles_zero_without_samples(self):
+        result = small_result()  # collect_latencies off
+        assert result.latency_p50 == result.latency_p95 == result.latency_p99 == 0.0
+
+    def test_percentiles_roundtrip(self):
+        result = self.latency_result()
+        data = json.loads(result.to_json())
+        assert data["latency_p50"] == result.latency_p50
+        assert data["latency_p95"] == result.latency_p95
+        assert data["latency_p99"] == result.latency_p99
+        rebuilt = SimulationResult.from_dict(data)
+        assert rebuilt.latency_p99 == result.latency_p99
+        assert rebuilt.batch_cycles == result.batch_cycles
+
+    def test_batch_cycles_roundtrip(self):
+        result = small_result()
+        rebuilt = SimulationResult.from_json(result.to_json())
+        assert rebuilt.batch_cycles == result.batch_cycles
+        assert sum(rebuilt.batch_cycles) == result.cycles
+
+    def test_old_payload_without_new_fields_loads(self):
+        data = small_result().to_dict()
+        for key in ("latency_p50", "latency_p95", "latency_p99", "batch_cycles"):
+            del data[key]
+        rebuilt = SimulationResult.from_dict(data)
+        assert rebuilt.latency_p50 == 0.0 and rebuilt.batch_cycles == []

@@ -151,6 +151,59 @@ class TestPDRResolution:
         assert len(res.classes) == 1
 
 
+class TestRoundRobinBounds:
+    """Arbitration counters must not grow without bound over a run.
+
+    The channel counter is reduced modulo the busy count on every
+    advance.  The module counter is advanced to ``start + offset + 1``
+    with ``start < count`` and ``offset < count``, so it stays below
+    ``2 * count`` — it cannot be reduced modulo ``count`` instead,
+    because the next arbitration reduces by the *future* waiting length
+    and the stored residue would change which header is served.
+    """
+
+    def run_sim(self, **kwargs):
+        from repro.sim import Simulator
+
+        defaults = dict(
+            topology="torus", radix=8, dims=2, rate=0.03,
+            warmup_cycles=200, measure_cycles=800, seed=3, fault_percent=1,
+        )
+        defaults.update(kwargs)
+        sim = Simulator(SimulationConfig(**defaults))
+        sim.run()
+        return sim
+
+    def test_module_rr_bounded_by_twice_fanin(self):
+        sim = self.run_sim()
+        # a module arbitrates over at most its input VCs; the waiting
+        # list can never exceed the VCs of the channels feeding it
+        for module in sim.net.modules:
+            fan_in = sum(
+                len(ch.vcs) for ch in sim.net.channels if ch.dst_module is module
+            )
+            assert 0 <= module.rr <= 2 * max(fan_in, 1)
+
+    def test_channel_rr_stays_within_vc_count(self):
+        sim = self.run_sim()
+        served = 0
+        for channel in sim.net.channels:
+            if channel.transfers:
+                served += 1
+            assert 0 <= channel.rr < max(len(channel.vcs), 1)
+        assert served > 0
+
+    def test_bounds_hold_under_saturation(self):
+        sim = self.run_sim(rate=0.08, measure_cycles=600, fault_percent=0)
+        for module in sim.net.modules:
+            fan_in = sum(
+                len(ch.vcs) for ch in sim.net.channels if ch.dst_module is module
+            )
+            assert 0 <= module.rr <= 2 * max(fan_in, 1)
+        for channel in sim.net.channels:
+            assert 0 <= channel.rr < max(len(channel.vcs), 1)
+
+
 class TestCrossbarResolution:
     def test_no_interchip_channels(self):
         net = build(router_model="crossbar")
