@@ -13,6 +13,13 @@ Usage::
 
 ``--check`` fails when any rate's measured speedup drops below
 ``REGRESSION_FRACTION`` (75%) of the committed baseline speedup.
+
+The smoke also measures the cost of a staged runtime reconfiguration (a
+non-convex pattern injected with hop-by-hop detection, stepped until the
+transition window closes).  The cost is expressed in *equivalent
+simulation cycles* — wall time over the same sim's per-cycle step time —
+so it is machine-independent too; ``--check`` fails when it exceeds
+``RECONFIG_REGRESSION_FACTOR`` (125%) of the committed baseline.
 """
 
 from __future__ import annotations
@@ -38,6 +45,16 @@ REPETITIONS = 3
 #: a measured speedup below this fraction of the baseline speedup fails
 REGRESSION_FRACTION = 0.75
 
+#: staged-reconfiguration smoke: a non-convex two-node pattern (the pair
+#: merges into one block, so the degrade pipeline runs) injected at
+#: runtime with hop-by-hop detection
+RECONFIG_RATE = 0.002
+RECONFIG_LATENCY = 4
+RECONFIG_NODES = ((4, 4), (5, 6))
+RECONFIG_BASELINE_CYCLES = 400
+#: a measured reconfiguration cost above this multiple of the baseline fails
+RECONFIG_REGRESSION_FACTOR = 1.25
+
 
 def _cycles_per_second(core: str, rate: float) -> float:
     config = SimulationConfig(
@@ -57,6 +74,37 @@ def _cycles_per_second(core: str, rate: float) -> float:
     return best
 
 
+def _reconfiguration_cost() -> dict:
+    config = SimulationConfig(
+        topology="torus", radix=RADIX, dims=2, rate=RECONFIG_RATE,
+        warmup_cycles=0, measure_cycles=10, seed=42,
+        detection_latency=RECONFIG_LATENCY,
+    )
+    best = float("inf")
+    window_cycles = 0
+    for _ in range(REPETITIONS):
+        sim = Simulator(config)
+        for _ in range(WARMUP_CYCLES):
+            sim.step()
+        start = time.perf_counter()
+        for _ in range(RECONFIG_BASELINE_CYCLES):
+            sim.step()
+        per_cycle = (time.perf_counter() - start) / RECONFIG_BASELINE_CYCLES
+        start = time.perf_counter()
+        sim.inject_runtime_fault(nodes=RECONFIG_NODES)
+        window_cycles = 0
+        while sim.reconfig is not None:
+            sim.step()
+            window_cycles += 1
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / per_cycle)
+    return {
+        "detection_latency": RECONFIG_LATENCY,
+        "window_cycles": window_cycles,
+        "cost_cycles": round(best, 1),
+    }
+
+
 def measure() -> dict:
     points = {}
     for rate in RATES:
@@ -71,6 +119,12 @@ def measure() -> dict:
             f"rate={rate}: legacy={legacy:9.1f} c/s  active={active:9.1f} c/s  "
             f"speedup={active / legacy:.2f}x"
         )
+    reconfig = _reconfiguration_cost()
+    print(
+        f"reconfiguration: {reconfig['cost_cycles']:.1f} cycle-equivalents "
+        f"({reconfig['window_cycles']} window cycles at detection latency "
+        f"{reconfig['detection_latency']})"
+    )
     return {
         "config": {
             "topology": "torus", "radix": RADIX, "dims": 2,
@@ -78,6 +132,7 @@ def measure() -> dict:
             "repetitions": REPETITIONS,
         },
         "rates": points,
+        "reconfiguration": reconfig,
     }
 
 
@@ -97,6 +152,23 @@ def check(measured: dict, baseline: dict) -> int:
         )
         if got["speedup"] < floor:
             failures += 1
+    base = baseline.get("reconfiguration")
+    if base is None:
+        # pre-reconfiguration baseline file: nothing to compare against
+        print("reconfiguration: no baseline entry; skipping (--write to add)")
+        return failures
+    got = measured.get("reconfiguration")
+    if got is None:
+        print("reconfiguration: missing from measurement", file=sys.stderr)
+        return failures + 1
+    ceiling = RECONFIG_REGRESSION_FACTOR * base["cost_cycles"]
+    verdict = "ok" if got["cost_cycles"] <= ceiling else "REGRESSION"
+    print(
+        f"reconfiguration: {got['cost_cycles']:.1f} cycle-equivalents vs "
+        f"baseline {base['cost_cycles']:.1f} (ceiling {ceiling:.1f}) -> {verdict}"
+    )
+    if got["cost_cycles"] > ceiling:
+        failures += 1
     return failures
 
 

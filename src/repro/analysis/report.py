@@ -162,6 +162,24 @@ def survivability_summary(outcome) -> str:
             f"degraded-mode throughput: {100 * ratio:.1f}% of healthy baseline "
             f"({outcome.baseline.throughput:.3f} msg/cycle)"
         )
+    reports = [r.report for r in outcome.records if r.applied and r.report is not None]
+    sacrificed = sum(len(getattr(r, "degraded_nodes", ())) for r in reports)
+    if sacrificed:
+        lines.append(
+            f"healthy nodes sacrificed by degraded-mode convexification: {sacrificed}"
+        )
+    staged = [r for r in reports if getattr(r, "detection_latency", 0) > 0]
+    if staged:
+        windows = [
+            r.completed_cycle - r.cycle for r in staged if r.completed_cycle is not None
+        ]
+        window_losses = sum(len(getattr(r, "window_lost_ids", ())) for r in staged)
+        if windows:
+            lines.append(
+                f"detection/reconfiguration windows: {len(windows)} "
+                f"(mean {sum(windows) / len(windows):.0f} cyc, max {max(windows)} cyc); "
+                f"{window_losses} worm(s) lost to stale fault knowledge"
+            )
     stats = outcome.stats
     if stats is None:
         lines.append("reliability layer: disabled (losses are permanent)")

@@ -24,7 +24,7 @@ from .vc_allocation import (
     plane_of,
     vc_class,
 )
-from .ft_routing import Decision, ECubeRouting, FaultTolerantRouting
+from .ft_routing import Decision, ECubeRouting, FaultTolerantRouting, StagedRoutingView
 from .table_routing import TableRoute, TableRouting, TableRoutingError
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "Decision",
     "ECubeRouting",
     "FaultTolerantRouting",
+    "StagedRoutingView",
     "TableRoute",
     "TableRouting",
     "TableRoutingError",

@@ -342,6 +342,88 @@ class FaultTolerantRouting:
             torus=self.network.wraparound,
         )
 
+class StagedRoutingView:
+    """Node-local routing during a reconfiguration transition window.
+
+    While fault reports propagate (see
+    :class:`repro.faults.DetectionProcess`), each node routes against the
+    relation it *knows*: nodes whose knowledge has converged use the
+    ``target`` relation (new f-rings), the rest still use the ``stale``
+    one.  Per-hop decisions therefore mix relations along a single path,
+    which is exactly the hazard the transition window creates — a worm
+    routed by a stale node can run into a channel the target relation has
+    condemned, and the simulator truncates it (a loss the reliability
+    layer retransmits).
+
+    The view quacks like :class:`FaultTolerantRouting` for everything the
+    router models consult (``num_vc_classes``, ``base_vc_classes``,
+    ``faults``, ``ring_index``, ``view``, sharing support), delegating to
+    the stale relation: channel banks and ring flags are only rewired when
+    the window closes, so mid-window structural queries must keep seeing
+    the pre-fault world.
+    """
+
+    def __init__(self, stale, target, ready_fn):
+        self.stale = stale
+        #: relation being converged to; replaced in place when another
+        #: fault event lands inside the same window
+        self.target = target
+        #: ``ready_fn(coord) -> bool`` — has this node's knowledge converged?
+        self.ready_fn = ready_fn
+
+    # -- per-node dispatch ---------------------------------------------
+    def _relation_at(self, current: Coord):
+        return self.target if self.ready_fn(current) else self.stale
+
+    def initial_state(self, src: Coord, dst: Coord) -> MessageRoute:
+        relation = self._relation_at(src)
+        try:
+            return relation.initial_state(src, dst)
+        except ValueError:
+            # one endpoint is faulty in this node's view but not the
+            # other's (e.g. a converged source replying to a requester the
+            # window has condemned): fall back to the other relation — the
+            # worm heads out on that knowledge and is truncated when the
+            # window closes if the destination really is doomed
+            other = self.stale if relation is self.target else self.target
+            return other.initial_state(src, dst)
+
+    def next_hop(self, state: MessageRoute, current: Coord) -> Decision:
+        return self._relation_at(current).next_hop(state, current)
+
+    def commit_hop(self, state: MessageRoute, current: Coord, decision: Decision) -> Coord:
+        return self._relation_at(current).commit_hop(state, current, decision)
+
+    # -- structural queries: the pre-fault world ------------------------
+    @property
+    def network(self) -> GridNetwork:
+        return self.stale.network
+
+    @property
+    def faults(self) -> FaultSet:
+        return self.stale.faults
+
+    @property
+    def view(self) -> LocalFaultView:
+        return self.stale.view
+
+    @property
+    def ring_index(self) -> FaultRingIndex:
+        return self.stale.ring_index
+
+    @property
+    def num_vc_classes(self) -> int:
+        return self.stale.num_vc_classes
+
+    @property
+    def base_vc_classes(self) -> int:
+        return self.stale.base_vc_classes
+
+    @property
+    def supports_sharing(self) -> bool:
+        return getattr(self.stale, "supports_sharing", True)
+
+
 class ECubeRouting:
     """Plain dimension-order routing (no fault tolerance) with the minimal
     deadlock-free virtual channel usage: two classes per dimension pair in

@@ -36,7 +36,9 @@ from ..sim.metrics import SimulationResult
 #: simply never matched.
 # sim-v2: per-batch throughput normalized by observed batch length, and
 # latency tail percentiles added to SimulationResult
-CODE_VERSION = "sim-v2"
+# sim-v3: degraded-mode fault acceptance, staged reconfiguration windows
+# (detection_latency), and the new survivability fields they report
+CODE_VERSION = "sim-v3"
 
 #: Environment variable overriding the default store location.
 STORE_ENV = "REPRO_RESULT_STORE"

@@ -1,7 +1,7 @@
 """Harnesses regenerating every table and figure of the paper's
 evaluation (Section 6)."""
 
-from .campaign import campaign_report
+from .campaign import campaign_report, chaos_report
 from .context import RunContext
 from .figures import (
     PAPER_PEAK_UTILIZATION,
@@ -25,6 +25,7 @@ __all__ = [
     "FigureResult",
     "RunContext",
     "campaign_report",
+    "chaos_report",
     "fig8",
     "fig9",
     "ext3d",

@@ -11,6 +11,7 @@ argparse parents)::
     repro-experiments tables                           # Tables 1 & 2 + Lemma 1
     repro-experiments throughput --seed 3              # Section 6 raw numbers
     repro-experiments campaign --jobs 2                # runtime-fault survivability
+    repro-experiments chaos --seed 3                   # arbitrary patterns, staged detection
     repro-experiments all --scale paper --out results.txt
 
 ``--jobs N`` fans sweep points out over N worker processes (0 = one per
@@ -31,7 +32,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from ..exec import ProgressEvent, ResultStore
-from .campaign import campaign_report
+from .campaign import campaign_report, chaos_report
 from .context import RunContext
 from .extension3d import ext3d
 from .figures import FigureResult, fig8, fig9, fig10, throughput_summary
@@ -56,6 +57,7 @@ _COMMANDS: Dict[str, Callable[[RunContext], str]] = {
     "throughput": lambda ctx: throughput_summary(ctx.scale_name, ctx=ctx),
     "ext3d": lambda ctx: ext3d(ctx.scale_name, ctx=ctx),
     "campaign": lambda ctx: campaign_report(ctx.scale_name, ctx=ctx),
+    "chaos": lambda ctx: chaos_report(ctx.scale_name, ctx=ctx),
 }
 
 _DESCRIPTIONS = {
@@ -66,6 +68,7 @@ _DESCRIPTIONS = {
     "throughput": "Section 6 raw throughput numbers",
     "ext3d": "extension: 3D torus PDR under a cube fault",
     "campaign": "extension: runtime-fault survivability campaign",
+    "chaos": "extension: arbitrary fault patterns through staged detection",
     "all": "every experiment in sequence",
 }
 

@@ -21,17 +21,22 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
-from ..topology import GridNetwork
+from ..topology import BiLink, Coord, GridNetwork
 from .fault_model import FaultSet
-from .fault_rings import FaultRingIndex, RingGeometryError
+from .fault_rings import FaultRing, FaultRingIndex, RingGeometryError
 from .overlaps import OverlapColoringError, assign_region_layers, has_overlaps
 from .regions import (
+    FaultRegion,
     NetworkDisconnectedError,
     NonConvexFaultError,
+    _interval_from_positions,
+    _node_components,
+    blocking_waves,
     extract_fault_regions,
     healthy_network_connected,
+    link_fault_region,
 )
 
 
@@ -93,6 +98,238 @@ def validate_fault_pattern(
         raise NetworkDisconnectedError("faults disconnect the healthy nodes")
     layers = assign_region_layers(ring_index)
     return FaultScenario(blocked, ring_index, layers)
+
+
+@dataclass
+class DegradationInfo:
+    """How a requested fault pattern was degraded into a valid block
+    pattern.
+
+    ``degraded_nodes`` are the healthy nodes sacrificed beyond the request
+    (by the blocking rule, by box-filling a non-convex component, or by
+    merging offending regions into one enclosing block).
+    ``condemned_rounds`` maps each sacrificed node to the round of the
+    iterated local protocol at which it condemns itself (round 1 is the
+    first blocking sweep); the distributed detection model announces a
+    round-``r`` node one report latency later per round."""
+
+    requested_nodes: FrozenSet[Coord]
+    requested_links: FrozenSet[BiLink]
+    degraded_nodes: Tuple[Coord, ...]
+    convexify_steps: int
+    merges: int
+    condemned_rounds: Dict[Coord, int] = field(default_factory=dict)
+
+
+def _box_interval(network: GridNetwork, material: Set[Coord], dim: int):
+    positions = {coord[dim] for coord in material}
+    return _interval_from_positions(positions, network.radix, network.wraparound)
+
+
+def _box_nodes(network: GridNetwork, material: Set[Coord]) -> Set[Coord]:
+    """All nodes of the smallest axis-aligned box covering ``material``.
+    Raises :class:`NetworkDisconnectedError` when the box would span a
+    full torus ring."""
+    intervals = tuple(_box_interval(network, material, dim) for dim in range(network.dims))
+    return set(FaultRegion(intervals).faulty_nodes(network))
+
+
+def _link_region_endpoints(network: GridNetwork, region: FaultRegion) -> List[Coord]:
+    """The two (healthy) endpoint nodes of a degenerate link region."""
+    coords_u: List[int] = []
+    coords_v: List[int] = []
+    for dim in range(network.dims):
+        interval = region.intervals[dim]
+        if interval.start % 2 == 1:
+            low = (interval.start - 1) // 2
+            high = (low + 1) % network.radix if network.wraparound else low + 1
+            coords_u.append(low)
+            coords_v.append(high)
+        else:
+            coords_u.append(interval.start // 2)
+            coords_v.append(interval.start // 2)
+    return [tuple(coords_u), tuple(coords_v)]
+
+
+def _region_of_node(regions: Sequence[FaultRegion], coord: Coord) -> int:
+    for index, region in enumerate(regions):
+        if not region.is_link_region() and region.contains_node(coord):
+            return index
+    raise FaultGenerationError(f"faulty node {coord} belongs to no fault region")
+
+
+def _region_of_link(
+    network: GridNetwork, regions: Sequence[FaultRegion], link: BiLink
+) -> int:
+    doubled = tuple(iv.start for iv in link_fault_region(network, link).intervals)
+    for index, region in enumerate(regions):
+        if region.contains_doubled(doubled):
+            return index
+    raise FaultGenerationError(f"faulty link {link} belongs to no fault region")
+
+
+def _ring_offender(
+    network: GridNetwork,
+    blocked: FaultSet,
+    regions: Sequence[FaultRegion],
+    rings: Sequence[FaultRing],
+) -> "Tuple[int, int] | None":
+    """First pair of regions whose geometry conflicts: a ring of one
+    passes through faulty material of the other.  Returns ``None`` when
+    every ring is healthy."""
+    faulty_links = blocked.all_faulty_links(network)
+    for ring in rings:
+        for node in ring.perimeter_nodes():
+            if node in blocked.node_faults:
+                other = _region_of_node(regions, node)
+                if other != ring.region_index:
+                    return (ring.region_index, other)
+        for link in ring.perimeter_links():
+            if link in faulty_links:
+                other = _region_of_link(network, regions, link)
+                if other != ring.region_index:
+                    return (ring.region_index, other)
+    return None
+
+
+def degrade_fault_pattern(
+    network: GridNetwork,
+    faults: FaultSet,
+    *,
+    allow_overlapping_rings: bool = False,
+) -> Tuple[FaultScenario, DegradationInfo]:
+    """Convexify an arbitrary fault pattern into a valid block pattern,
+    sacrificing healthy nodes as needed (degraded mode).
+
+    The pipeline iterates the paper's own machinery instead of rejecting:
+    the blocking rule runs to fixpoint; components that still do not fill
+    their bounding box are box-filled; a ring passing through another
+    region's faulty material — or an overlapping ring pair, when those are
+    not allowed — causes the two regions to be merged into one enclosing
+    node block.  Fatal geometry (disconnecting the healthy nodes, mesh
+    boundary faults, torus-spanning regions) still raises, since no amount
+    of sacrifice can repair it.
+
+    On an input :func:`validate_fault_pattern` already accepts (with
+    ``allow_blocking=True``), the first pass runs exactly the validator's
+    checks and returns an identical scenario with ``convexify_steps == 0``.
+
+    Returns ``(scenario, info)``.
+    """
+    working = faults
+    condemned_rounds: Dict[Coord, int] = {}
+    merges = 0
+    passes = 0
+    round_base = 0
+    # each pass either succeeds or strictly grows the faulty node set /
+    # reduces the region count, so termination is bounded by network size;
+    # the guard catches logic errors rather than real patterns
+    max_passes = 4 * network.dims * network.radix + 16
+    while True:
+        passes += 1
+        if passes > max_passes:
+            raise FaultGenerationError(
+                f"degraded-mode convexification did not converge within "
+                f"{max_passes} passes on {network!r}"
+            )
+        waves = blocking_waves(network, working.node_faults)
+        for wave_index, wave in enumerate(waves[1:], start=1):
+            for coord in wave:
+                condemned_rounds.setdefault(coord, round_base + wave_index)
+        round_base += len(waves) - 1
+        try:
+            blocked, regions = extract_fault_regions(network, working, block=True)
+        except NonConvexFaultError:
+            # box-fill every component that is not a filled box
+            blocked_nodes = set().union(*waves)
+            filled: Set[Coord] = set(blocked_nodes)
+            for component in _node_components(network, frozenset(blocked_nodes)):
+                filled |= _box_nodes(network, component)
+            round_base += 1
+            for coord in filled - blocked_nodes:
+                condemned_rounds.setdefault(coord, round_base)
+            working = FaultSet(frozenset(filled), working.link_faults)
+            continue
+        working = blocked
+        ring_index = FaultRingIndex(network, regions)
+        offender = _ring_offender(network, blocked, regions, ring_index.rings)
+        if offender is None:
+            pairs = ring_index.overlapping_ring_pairs()
+            if pairs:
+                if not allow_overlapping_rings:
+                    offender = (pairs[0][0].region_index, pairs[0][1].region_index)
+                else:
+                    try:
+                        assign_region_layers(ring_index)
+                    except OverlapColoringError:
+                        offender = (pairs[0][0].region_index, pairs[0][1].region_index)
+        if offender is None:
+            if not healthy_network_connected(network, blocked):
+                raise NetworkDisconnectedError("faults disconnect the healthy nodes")
+            layers = assign_region_layers(ring_index)
+            degraded = tuple(sorted(blocked.node_faults - faults.node_faults))
+            info = DegradationInfo(
+                requested_nodes=faults.node_faults,
+                requested_links=faults.link_faults,
+                degraded_nodes=degraded,
+                convexify_steps=passes - 1,
+                merges=merges,
+                condemned_rounds=condemned_rounds,
+            )
+            return FaultScenario(blocked, ring_index, layers), info
+        # merge the offending pair into one enclosing node block
+        material: Set[Coord] = set()
+        for index in offender:
+            region = regions[index]
+            nodes = region.faulty_nodes(network)
+            if nodes:
+                material.update(nodes)
+            else:
+                material.update(_link_region_endpoints(network, region))
+        box_nodes = _box_nodes(network, material)
+        round_base += 1
+        for coord in box_nodes - working.node_faults:
+            condemned_rounds.setdefault(coord, round_base)
+        working = FaultSet(working.node_faults | frozenset(box_nodes), working.link_faults)
+        merges += 1
+
+
+def generate_random_pattern(
+    network: GridNetwork,
+    num_node_faults: int,
+    num_link_faults: int,
+    rng: random.Random,
+    *,
+    allow_overlapping_rings: bool = False,
+    max_tries: int = 1_000,
+) -> Tuple[FaultScenario, DegradationInfo]:
+    """Sample an arbitrary (not necessarily convex, not pre-blocked) fault
+    pattern and degrade it into a valid block pattern.
+
+    Unlike :func:`generate_fault_pattern` there is no rejection on
+    convexity or ring overlap — the degraded-mode pipeline convexifies
+    whatever comes up; only fatally invalid draws (disconnecting the
+    network, mesh-boundary faults) are re-drawn."""
+    all_nodes = list(network.nodes())
+    all_links = list(network.links())
+    for _attempt in range(max_tries):
+        nodes = rng.sample(all_nodes, num_node_faults) if num_node_faults else []
+        node_set = set(nodes)
+        candidate_links = [
+            link for link in all_links if link.u not in node_set and link.v not in node_set
+        ]
+        links = rng.sample(candidate_links, num_link_faults) if num_link_faults else []
+        faults = FaultSet(frozenset(nodes), frozenset(links))
+        try:
+            return degrade_fault_pattern(
+                network, faults, allow_overlapping_rings=allow_overlapping_rings
+            )
+        except (RingGeometryError, NetworkDisconnectedError, OverlapColoringError, FaultGenerationError):
+            continue
+    raise FaultGenerationError(
+        f"no degradable pattern with {num_node_faults} node and {num_link_faults} "
+        f"link faults found in {max_tries} tries on {network!r}"
+    )
 
 
 def generate_fault_pattern(

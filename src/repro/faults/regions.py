@@ -237,6 +237,39 @@ def apply_block_fault_rule(network: GridNetwork, node_faults: FrozenSet[Coord]) 
     return frozenset(faulty)
 
 
+def blocking_waves(network: GridNetwork, node_faults: FrozenSet[Coord]) -> List[Set[Coord]]:
+    """The blocking rule as a sequence of sweeps.
+
+    Wave 0 is the seed fault set; wave ``i >= 1`` holds the nodes that
+    condemn themselves on sweep ``i`` (they see more than one faulty
+    neighbor among the union of earlier waves).  The union of all waves
+    equals :func:`apply_block_fault_rule`; the number of condemning waves
+    is bounded by the network diameter, which is what the distributed
+    detection protocol's announcement schedule relies on.
+    """
+    faulty: Set[Coord] = set(node_faults)
+    waves: List[Set[Coord]] = [set(node_faults)]
+    frontier = set(faulty)
+    while frontier:
+        candidates: Set[Coord] = set()
+        for coord in frontier:
+            for _dim, _direction, other in network.neighbors(coord):
+                if other not in faulty:
+                    candidates.add(other)
+        newly = set()
+        for coord in candidates:
+            faulty_neighbors = sum(
+                1 for _d, _dir, other in network.neighbors(coord) if other in faulty
+            )
+            if faulty_neighbors > 1:
+                newly.add(coord)
+        if newly:
+            waves.append(newly)
+        faulty |= newly
+        frontier = newly
+    return waves
+
+
 def _node_components(network: GridNetwork, nodes: FrozenSet[Coord]) -> List[Set[Coord]]:
     """Connected components of a node set under grid adjacency."""
     remaining = set(nodes)

@@ -21,6 +21,12 @@ Three seeded generators cover the standard survivability workloads:
 Every generated event is pre-validated against the block-fault model
 (convexity, non-overlapping f-rings, connectivity) applied to the
 *cumulative* fault set, so a seeded campaign injects cleanly in order.
+
+:meth:`FaultCampaign.chaos` is the deliberate exception: it draws
+arbitrary multi-component patterns with **no** convexity or overlap
+screening, exercising the degraded-mode convexification pipeline at
+injection time; only fatally invalid draws (disconnection, mesh boundary
+faults) are re-drawn.
 """
 
 from __future__ import annotations
@@ -30,7 +36,12 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..faults import FaultGenerationError, FaultSet, validate_fault_pattern
+from ..faults import (
+    FaultGenerationError,
+    FaultSet,
+    degrade_fault_pattern,
+    validate_fault_pattern,
+)
 from ..topology import Coord, GridNetwork
 
 from .stats import ReliabilityStats
@@ -207,6 +218,69 @@ class FaultCampaign:
                 merged = grown
                 events = candidate_events
                 break
+        return cls(events)
+
+    @classmethod
+    def chaos(
+        cls,
+        topology: GridNetwork,
+        *,
+        count: int = 3,
+        start: int = 1_000,
+        interval: int = 1_500,
+        seed: int = 0,
+        max_nodes: int = 2,
+        max_links: int = 1,
+    ) -> "FaultCampaign":
+        """Arbitrary (not pre-blocked) fault patterns: each event draws a
+        random handful of nodes and links with no convexity, adjacency or
+        f-ring-overlap screening, so the runtime degraded-mode pipeline
+        must convexify the pattern at injection time — possibly
+        sacrificing healthy nodes.  Only draws that are fatal against the
+        cumulative *degraded* fault set (disconnecting the network, mesh
+        boundary faults) are re-drawn."""
+        rng = random.Random(seed)
+        merged = FaultSet()
+        events: List[FaultEvent] = []
+        all_nodes = list(topology.nodes())
+        for index in range(count):
+            placed = None
+            for _ in range(200):
+                candidates = [c for c in all_nodes if c not in merged.node_faults]
+                nodes = rng.sample(candidates, min(rng.randint(1, max_nodes), len(candidates)))
+                node_set = set(nodes) | merged.node_faults
+                links = []
+                for _ in range(rng.randint(0, max_links)):
+                    candidate = _random_link(topology, rng)
+                    if candidate is None:
+                        continue
+                    ((coord, dim, direction),) = candidate[1]
+                    if coord in node_set or topology.neighbor(coord, dim, direction) in node_set:
+                        continue
+                    links.append((coord, dim, direction))
+                try:
+                    addition = FaultSet.of(topology, nodes=nodes, links=links)
+                    scenario, _info = degrade_fault_pattern(
+                        topology, merged.merged_with(addition)
+                    )
+                except (ValueError, FaultGenerationError):
+                    continue
+                placed = (scenario.faults, tuple(nodes), tuple(links))
+                break
+            if placed is None:
+                break
+            # the cumulative set tracks the *degraded* outcome, matching
+            # what the live network will actually have installed when the
+            # next event lands
+            merged, event_nodes, event_links = placed
+            events.append(
+                FaultEvent(
+                    cycle=start + index * interval,
+                    nodes=event_nodes,
+                    links=event_links,
+                    label=f"chaos: {len(event_nodes)} nodes, {len(event_links)} links",
+                )
+            )
         return cls(events)
 
 

@@ -40,6 +40,9 @@ class ReliabilityStats:
     acks_killed: int = 0
     #: worms truncated in transit by fault events (transport view)
     killed_in_flight: int = 0
+    #: of those, worms truncated mid-transition-window because a node
+    #: with stale fault knowledge steered them at a dead component
+    window_losses: int = 0
     #: queued messages dropped by fault events
     killed_queued: int = 0
     #: flows abandoned because their source or destination died

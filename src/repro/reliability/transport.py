@@ -268,6 +268,82 @@ class ReliableTransport:
         if not track.pending_keys:
             track.recovered_cycle = track.cycle
 
+    def on_window_loss(self, message) -> None:
+        """A worm was truncated *during* a reconfiguration transition
+        window: a node routing on stale fault knowledge steered it at a
+        component that was already dead.  Fast-retransmit it and charge
+        the loss to the window's fault event."""
+        now = self.sim.now
+        self.stats.window_losses += 1
+        self.stats.killed_in_flight += 1
+        if message.ack_for is not None:
+            self.stats.acks_killed += 1
+            return
+        if message.seq is None:
+            return
+        key = (message.src, message.seq)
+        flow = self._pending.get(key)
+        if flow is None:
+            return
+        if self.fault_events:
+            track = self.fault_events[-1]
+            if key not in track.pending_keys:
+                track.pending_keys.add(key)
+                track.killed_flows += 1
+                track.recovered_cycle = None
+        flow.deadline = now + self.config.retransmit_delay
+        flow.fault_kick = True
+        heapq.heappush(self._timers, (flow.deadline, key))
+
+    def on_window_closed(
+        self, dead_nodes, killed, *, dropped_in_flight: int = 0, dropped_queued: int = 0
+    ) -> None:
+        """A transition window finalized: the condemned components went
+        dead and their worms/queues were truncated.  The kills belong to
+        the window's last fault event (its ``on_fault`` ran at the event
+        cycle, before these losses existed), so fold them into that
+        event's recovery track instead of opening a new one."""
+        now = self.sim.now
+        self.stats.killed_in_flight += dropped_in_flight
+        self.stats.killed_queued += dropped_queued
+
+        fresh_keys: Set[FlowKey] = set()
+        for message in killed:
+            if message.ack_for is not None:
+                self.stats.acks_killed += 1
+                continue
+            if message.seq is None:
+                continue
+            key = (message.src, message.seq)
+            if key in self._pending:
+                fresh_keys.add(key)
+        if self.fault_events and fresh_keys:
+            track = self.fault_events[-1]
+            new_keys = fresh_keys - track.pending_keys
+            if new_keys:
+                track.pending_keys |= new_keys
+                track.killed_flows += len(new_keys)
+                track.recovered_cycle = None
+
+        # flows touching now-dead endpoints are unrecoverable
+        for key, flow in list(self._pending.items()):
+            if flow.src in dead_nodes or flow.dst in dead_nodes:
+                self._abort(key, now)
+
+        # surviving killed flows: retransmit quickly
+        for key in sorted(fresh_keys):
+            flow = self._pending.get(key)
+            if flow is None:
+                continue  # aborted above
+            flow.deadline = now + self.config.retransmit_delay
+            flow.fault_kick = True
+            heapq.heappush(self._timers, (flow.deadline, key))
+
+        if self.fault_events:
+            track = self.fault_events[-1]
+            if not track.pending_keys and track.recovered_cycle is None:
+                track.recovered_cycle = now
+
     # ------------------------------------------------------------------
     def _ack_protocol(self) -> int:
         if self.config.ack_protocol is not None:
@@ -282,6 +358,13 @@ class ReliableTransport:
         key = (flow.src, flow.seq)
         sim = self.sim
         if flow.src not in sim.queues or flow.dst not in sim.queues:
+            self._abort(key, now)
+            return
+        window = getattr(sim, "reconfig", None)
+        if window is not None and flow.dst in window.scenario.faults.node_faults:
+            # the destination is condemned by an open reconfiguration
+            # window: it will be switched off when the window closes, so
+            # a retransmitted copy can never be acknowledged
             self._abort(key, now)
             return
         if flow.attempt >= self.config.max_retries:

@@ -29,6 +29,7 @@ class Message:
         "seq",
         "ack_for",
         "attempt",
+        "killed",
     )
 
     def __init__(
@@ -66,6 +67,10 @@ class Message:
         self.ack_for: Optional[tuple] = None
         #: 0 for the original transmission, incremented per retransmission
         self.attempt = 0
+        #: set once a reconfiguration has truncated this worm — guards the
+        #: loss accounting against double-counting when back-to-back
+        #: runtime faults land in the same transition window
+        self.killed = False
 
     @property
     def is_control(self) -> bool:

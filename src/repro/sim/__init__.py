@@ -5,7 +5,7 @@ from .deadlock import DeadlockError, StuckWorm, stuck_worm_report, stuck_worm_sn
 from .engine import Simulator
 from .metrics import SimulationResult, batch_means_ci, percentile
 from .network import SimNetwork
-from .reconfiguration import ReconfigurationReport, apply_runtime_fault
+from .reconfiguration import ReconfigurationReport, TransitionWindow, apply_runtime_fault
 from .runner import default_rate_grid, run_point, saturation_utilization, sweep_rates
 from .sampling import GeometricSampler
 from .stages import AllocationStage, GenerationStage, InjectionStage, TransferStage
@@ -36,6 +36,7 @@ __all__ = [
     "StuckWorm",
     "TrafficPattern",
     "TransferStage",
+    "TransitionWindow",
     "TransposeTraffic",
     "UniformTraffic",
     "apply_runtime_fault",

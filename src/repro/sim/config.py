@@ -36,6 +36,8 @@ _NON_NETWORK_FIELDS = {
     "seed": 0,
     "deadlock_threshold": 2_000,
     "collect_latencies": False,
+    "detection_latency": 0,
+    "strict_invariants": False,
 }
 
 
@@ -112,6 +114,16 @@ class SimulationConfig:
     #: record raw per-message latencies during measurement (histograms,
     #: percentiles) at a small memory cost
     collect_latencies: bool = False
+    #: cycles per hop of fault-report propagation (Section 3's distributed
+    #: detection).  0 keeps runtime reconfiguration instantaneous and
+    #: global (bit-for-bit the historical behavior); > 0 stages every
+    #: runtime fault through a transition window during which nodes route
+    #: on stale per-node knowledge and worms that hit an unannounced fault
+    #: are truncated (losses for the reliability layer to retransmit)
+    detection_latency: int = 0
+    #: re-run the channel-dependency-graph acyclicity check after every
+    #: runtime reconfiguration (slow; meant for campaign test suites)
+    strict_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.topology not in ("torus", "mesh"):
@@ -135,6 +147,8 @@ class SimulationConfig:
                 "request-reply traffic needs protocol_classes >= 2 (separate "
                 "banks are what prevents protocol deadlock)"
             )
+        if self.detection_latency < 0:
+            raise ValueError("detection_latency must be non-negative")
 
     @property
     def is_torus(self) -> bool:

@@ -26,14 +26,20 @@ class StuckWorm:
     sent: int
     length: int
     misrouted: bool
+    #: cycles until the worm's current node has complete fault knowledge
+    #: (None outside a reconfiguration transition window)
+    knowledge_lag: Optional[int] = None
 
     def describe(self) -> str:
-        return (
+        text = (
             f"  {self.channel} class c{self.vc_class}: "
             f"msg#{self.msg_id} {self.src}->{self.dst} "
             f"(received {self.received}, sent {self.sent} of {self.length}, "
             f"misrouted={self.misrouted})"
         )
+        if self.knowledge_lag is not None:
+            text += f" [knowledge lag {self.knowledge_lag} cycles]"
+        return text
 
 
 class DeadlockError(RuntimeError):
@@ -68,10 +74,14 @@ class DeadlockError(RuntimeError):
         return len(self.worms) < self.total_busy
 
 
-def stuck_worm_snapshot(channels, limit: int = 20) -> Tuple[List[StuckWorm], int]:
+def stuck_worm_snapshot(
+    channels, limit: int = 20, *, knowledge=None
+) -> Tuple[List[StuckWorm], int]:
     """Collect up to ``limit`` stuck-worm records plus the total number of
     busy virtual channels (so callers can tell whether the snapshot was
-    truncated)."""
+    truncated).  ``knowledge`` is an optional ``coord -> lag-in-cycles``
+    callable (an open transition window's per-node knowledge age); each
+    record then carries the lag of the channel's source node."""
     worms: List[StuckWorm] = []
     total = 0
     for channel in channels:
@@ -92,6 +102,9 @@ def stuck_worm_snapshot(channels, limit: int = 20) -> Tuple[List[StuckWorm], int
                         sent=vc.sent,
                         length=message.length,
                         misrouted=message.route.is_misrouted,
+                        knowledge_lag=(
+                            knowledge(channel.src_node) if knowledge is not None else None
+                        ),
                     )
                 )
     return worms, total

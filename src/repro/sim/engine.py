@@ -123,6 +123,23 @@ class Simulator:
         self.fault_events = 0
         self.killed_in_flight = 0
         self.killed_queued = 0
+        #: worms truncated mid-transition-window by the stale-knowledge
+        #: fallback (subset of killed_in_flight)
+        self.window_losses = 0
+        #: cycles each reconfiguration transition window stayed open
+        self.detection_cycles: List[int] = []
+        #: open transition window (detection_latency > 0 only); None
+        #: keeps every staged-reconfiguration branch dormant, preserving
+        #: the instantaneous behavior bit-for-bit
+        self.reconfig = None
+        # degraded-mode accounting, seeded from the static build
+        degradation = getattr(self.net, "degradation", None)
+        self.degraded_nodes_total = (
+            len(degradation.degraded_nodes) if degradation is not None else 0
+        )
+        self.convexify_steps_total = (
+            degradation.convexify_steps if degradation is not None else 0
+        )
 
         #: measurement-window statistics (reset at the warmup boundary)
         self.stats = StatsCollector(config.collect_latencies)
@@ -158,11 +175,17 @@ class Simulator:
                 hook(now)
         if self.stats.measuring:
             self.stats.on_cycle()
+        if self.reconfig is not None:
+            self.reconfig.tick(now)
         self.generation.run(now)
         self.injection.run(now)
         progress = self.allocation.run(now)
         progress = self.transfer.run(now) or progress
         if progress:
+            self._last_progress = now
+        elif self.reconfig is not None:
+            # an open transition window resolves stalls on its own at the
+            # finalize cycle; don't let the watchdog trip mid-window
             self._last_progress = now
         elif self.in_flight > 0 and now - self._last_progress >= self.config.deadlock_threshold:
             worms, total = stuck_worm_snapshot(self.net.channels)
@@ -370,6 +393,10 @@ class Simulator:
             killed_in_flight=self.killed_in_flight,
             killed_queued=self.killed_queued,
             lost_messages=self.killed_in_flight + self.killed_queued,
+            degraded_nodes=self.degraded_nodes_total,
+            convexify_steps=self.convexify_steps_total,
+            window_losses=self.window_losses,
+            detection_cycles=list(self.detection_cycles),
         )
         rel = self.reliability
         if rel is not None:
@@ -408,10 +435,12 @@ class Simulator:
                     self.in_flight == 0
                     and not any(self.queues[c] for c in self._active_sources)
                     and (self.reliability is None or self.reliability.quiescent)
+                    and self.reconfig is None
                 ):
                     return
                 self.step()
-            worms, total = stuck_worm_snapshot(self.net.channels)
+            knowledge = self.reconfig.knowledge_lag if self.reconfig is not None else None
+            worms, total = stuck_worm_snapshot(self.net.channels, knowledge=knowledge)
             raise DeadlockError(self.now, worms=worms, total_busy=total)
         finally:
             self.config.rate = saved_rate

@@ -132,6 +132,17 @@ class SimulationResult:
     #: time-to-recover per fault event, in cycles (events whose killed
     #: flows were all re-delivered or resolved; see the campaign runner)
     recovery_cycles: List[int] = field(default_factory=list, repr=False)
+    #: healthy nodes sacrificed by the degraded-mode convexification
+    #: (static build plus every runtime event)
+    degraded_nodes: int = 0
+    #: extra convexification passes the degrade pipeline needed in total
+    convexify_steps: int = 0
+    #: worms truncated mid-transition-window by the stale-knowledge
+    #: fallback (detection_latency > 0 only)
+    window_losses: int = 0
+    #: cycles each reconfiguration transition window stayed open
+    #: (fault event to staged f-ring reconstruction complete)
+    detection_cycles: List[int] = field(default_factory=list, repr=False)
 
     @property
     def delivery_ratio(self) -> float:

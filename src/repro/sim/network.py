@@ -8,11 +8,18 @@ on an f-ring are flagged so virtual channel sharing is disabled on them.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core import ECubeRouting, FaultTolerantRouting
 from ..core.table_routing import TableRouting
-from ..faults import FaultScenario, FaultSet, paper_fault_scenario, validate_fault_pattern
+from ..faults import (
+    DegradationInfo,
+    FaultScenario,
+    FaultSet,
+    degrade_fault_pattern,
+    paper_fault_scenario,
+    validate_fault_pattern,
+)
 from ..router.channels import ChannelKind, PhysicalChannel
 from ..router.modules import CrossbarNode, Module, NodeModel, PDRNode
 from ..topology import (
@@ -32,6 +39,9 @@ class SimNetwork:
     def __init__(self, config: SimulationConfig):
         self.config = config
         self.topology: GridNetwork = make_network(config.topology, config.radix, config.dims)
+        #: how the requested explicit pattern was degraded into a valid
+        #: block pattern (None when no explicit faults were given)
+        self.degradation: Optional[DegradationInfo] = None
         self.scenario = self._build_scenario()
         self.routing = self._build_routing()
         #: classes one protocol bank needs (the paper's 4 torus / 2 mesh)
@@ -64,12 +74,16 @@ class SimNetwork:
         config = self.config
         topology = make_network(config.topology, config.radix, config.dims)
         if config.faults is not None:
-            return validate_fault_pattern(
+            # degraded mode: arbitrary patterns are convexified with the
+            # paper's own blocking rule instead of rejected; on an input
+            # the validator accepts this returns an identical scenario
+            scenario, info = degrade_fault_pattern(
                 topology,
                 config.faults,
-                allow_blocking=True,
                 allow_overlapping_rings=config.allow_overlapping_rings,
             )
+            self.degradation = info
+            return scenario
         if config.fault_percent == 0:
             return validate_fault_pattern(topology, FaultSet())
         return paper_fault_scenario(

@@ -1,40 +1,51 @@
-"""Runtime fault injection and network reconfiguration.
+"""Runtime fault injection, distributed detection, and staged
+reconfiguration.
 
-The paper's fault handling story (Section 3) is: components fail
-permanently and fail-stop; each node detects faults on its own links via
-status signals and reports them to its neighbors; once every f-ring node
-knows its ring neighbors, the fault-tolerant routing operates on the new
-fault knowledge.  The transition itself is destructive — flits in wormhole
-transit through a dying node or link are simply lost.
+The paper's fault handling story (Section 3) is distributed: components
+fail permanently and fail-stop; each node detects faults on its own
+links via status signals and reports them to its neighbors; reports
+propagate hop by hop; every node applies the local blocking rule to what
+it has heard; and once every f-ring node knows its ring neighbors, the
+fault-tolerant routing operates on the new fault knowledge.
 
-:func:`apply_runtime_fault` performs that transition on a live
-simulator:
+:func:`apply_runtime_fault` models that transition on a live simulator
+at two fidelities, selected by ``SimulationConfig.detection_latency``:
 
-1. the new faults are merged with the existing ones, re-blocked and
-   re-validated (the same convexity / non-overlap / connectivity rules as
-   static scenarios — the model's assumptions must keep holding);
-2. victim worms are truncated and discarded: every message holding a
-   virtual channel on a dying channel, every message to or from a dead
-   node, and every message caught mid-misroute (its ring geometry may
-   have changed under it);
-3. the static structures are rebuilt: routing logic, f-ring index,
-   ring flags on channels, dying channels unwired, healthy-node lists and
-   bisection bandwidth updated;
-4. every waiting header's cached route resolution is invalidated so the
-   next arbitration uses the new fault knowledge.
+* **instantaneous** (``detection_latency == 0``) — the historical
+  omniscient rebuild, bit-for-bit unchanged: victims are truncated, the
+  static structures are swapped in one cycle, and every waiting header
+  immediately routes on the new fault knowledge.
+* **staged** (``detection_latency > 0``) — only the *explicitly* failed
+  components die at the event cycle.  A :class:`TransitionWindow` opens:
+  per-node knowledge converges over simulated cycles
+  (:class:`repro.faults.DetectionProcess`), nodes route on a mixed
+  stale/target relation (:class:`repro.core.StagedRoutingView`), nodes
+  sacrificed by the blocking/convexification pipeline stay physically
+  alive until the window closes, and worms that a stale node steers into
+  a missing channel are truncated and surfaced as losses for the
+  reliability layer to retransmit.  When the knowledge wavefront has
+  converged everywhere (plus the two-step ring-formation protocol), the
+  window finalizes: the target scenario is installed exactly as the
+  instantaneous path would have.
 
-Surviving normal messages continue unharmed: routing decisions are made
-hop by hop from the current node, so they simply start detouring when
-they meet the new fault ring.
+Arbitrary fault patterns are no longer rejected: the degraded-mode
+pipeline (:func:`repro.faults.degrade_fault_pattern`) convexifies any
+node/link pattern with the paper's own blocking rule, box-fills
+non-convex components, merges overlapping rings into enclosing blocks,
+and reports which healthy nodes were sacrificed (``degraded_nodes``,
+``convexify_steps``).  Only fatal geometry (disconnection, mesh boundary
+faults, torus-spanning regions) still raises — before any state is
+touched, so a rejected event leaves the simulation unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
-from ..core import FaultTolerantRouting
-from ..faults import FaultSet, validate_fault_pattern
+from ..core import FaultTolerantRouting, StagedRoutingView
+from ..faults import DetectionProcess, FaultSet, RingGeometryError, degrade_fault_pattern
+from ..core.message_types import RoutingError
 from ..router.channels import ChannelKind, PhysicalChannel
 from ..router.messages import Message
 from ..topology import BiLink, Coord, Direction, bisection_bandwidth
@@ -51,8 +62,25 @@ class ReconfigurationReport:
     dropped_queued: int
     channels_removed: int
     #: message ids lost in transit (for reliability accounting / retry
-    #: layers built on top)
+    #: layers built on top); each id appears in at most one report even
+    #: when several events share a transition window
     lost_message_ids: List[int] = field(default_factory=list)
+    #: healthy nodes sacrificed by the degraded-mode pipeline to make the
+    #: merged pattern a valid block fault set (beyond the requested ones)
+    degraded_nodes: Tuple[Coord, ...] = ()
+    #: extra convexification passes the degrade pipeline needed (0 when
+    #: the blocked pattern was already convex and non-overlapping)
+    convexify_steps: int = 0
+    #: report-propagation latency per hop this event was staged with
+    #: (0 = instantaneous historical behavior)
+    detection_latency: int = 0
+    #: cycle the reconfiguration completed (equals ``cycle`` for the
+    #: instantaneous path; the window-close cycle for staged events; None
+    #: while the transition window is still open)
+    completed_cycle: Optional[int] = None
+    #: ids of worms truncated *during* the transition window because a
+    #: node with stale knowledge steered them into a dead component
+    window_lost_ids: List[int] = field(default_factory=list)
 
 
 def apply_runtime_fault(
@@ -63,21 +91,61 @@ def apply_runtime_fault(
 ) -> ReconfigurationReport:
     """Fail components on a running :class:`~repro.sim.engine.Simulator`.
 
-    Raises the usual fault-model errors (non-convex pattern, overlapping
-    f-rings, disconnection) *before* touching any state, so a rejected
-    event leaves the simulation unchanged.
+    Fatal fault-model errors (disconnection, unsupported boundary
+    geometry) are raised *before* touching any state, so a rejected event
+    leaves the simulation unchanged.  Non-convex and overlapping patterns
+    are accepted and degraded (see module docstring).
     """
     net = simulator.net
     topology = net.topology
     addition = FaultSet.of(topology, nodes=nodes, links=links)
     if addition.empty:
         raise ValueError("runtime fault event needs at least one node or link")
-    merged = net.scenario.faults.merged_with(addition)
-    scenario = validate_fault_pattern(topology, merged, allow_blocking=True)
+    window = simulator.reconfig
+    base = window.scenario.faults if window is not None else net.scenario.faults
+    merged = base.merged_with(addition)
+    scenario, info, routing = _resolve_target(simulator, merged)
 
-    # ------------------------------------------------------------------
-    # determine what actually died (blocking may have expanded the set)
-    # ------------------------------------------------------------------
+    latency = getattr(simulator.config, "detection_latency", 0)
+    if latency <= 0 and window is None:
+        return _apply_instant(simulator, scenario, info, routing)
+    return _stage_event(simulator, addition, base, scenario, info, routing, latency)
+
+
+def _resolve_target(simulator, merged: FaultSet):
+    """Degrade the merged pattern and build its routing relation.
+
+    If the degraded scenario needs a second bank of virtual channel
+    classes (layered overlapping rings) that the already-built network
+    does not have, re-degrade with overlaps disallowed — the offending
+    rings are then merged into one enclosing block instead."""
+    net = simulator.net
+    config = simulator.config
+    scenario, info = degrade_fault_pattern(
+        net.topology,
+        merged,
+        allow_overlapping_rings=config.allow_overlapping_rings,
+    )
+    routing = FaultTolerantRouting.for_scenario(
+        net.topology, scenario, orientation_policy=config.orientation_policy
+    )
+    if routing.num_vc_classes > net.base_classes:
+        scenario, info = degrade_fault_pattern(
+            net.topology, merged, allow_overlapping_rings=False
+        )
+        routing = FaultTolerantRouting.for_scenario(
+            net.topology, scenario, orientation_policy=config.orientation_policy
+        )
+    return scenario, info, routing
+
+
+# ----------------------------------------------------------------------
+# instantaneous path (detection_latency == 0): the historical behavior
+# ----------------------------------------------------------------------
+def _apply_instant(simulator, scenario, info, routing) -> ReconfigurationReport:
+    net = simulator.net
+    topology = net.topology
+
     old_nodes = net.scenario.faults.node_faults
     dead_nodes = scenario.faults.node_faults - old_nodes
     old_links = net.scenario.faults.all_faulty_links(topology)
@@ -85,27 +153,7 @@ def apply_runtime_fault(
 
     dying_channels = _dying_channels(net, dead_nodes, dead_links)
 
-    # ------------------------------------------------------------------
-    # pick victims
-    # ------------------------------------------------------------------
-    victims: Set[Message] = set()
-    for channel in dying_channels:
-        for vc in list(channel.busy):
-            if vc.message is not None:
-                victims.add(vc.message)
-    for channel in net.channels:
-        for vc in channel.busy:
-            message = vc.message
-            if message is None:
-                continue
-            if message.dst in dead_nodes or message.src in dead_nodes:
-                victims.add(message)
-            elif message.route.is_misrouted:
-                # conservative: its f-ring may have merged with the new
-                # region; restart-from-scratch semantics are simplest and
-                # match a fail-stop truncation
-                victims.add(message)
-
+    victims = _pick_victims(net, dying_channels, dead_nodes, include_misrouted=True)
     lost_ids = sorted(m.msg_id for m in victims)
     for message in victims:
         _kill_worm(simulator, message)
@@ -113,41 +161,12 @@ def apply_runtime_fault(
     dropped_messages = _drop_queued(simulator, dead_nodes)
     dropped_queued = len(dropped_messages)
 
-    # ------------------------------------------------------------------
-    # rebuild static structures
-    # ------------------------------------------------------------------
-    net.scenario = scenario
-    net.routing = FaultTolerantRouting.for_scenario(
-        topology, scenario, orientation_policy=simulator.config.orientation_policy
-    )
-    net.healthy = [c for c in topology.nodes() if c not in scenario.faults.node_faults]
-    net.bisection_bandwidth = bisection_bandwidth(
-        topology, scenario.faults.all_faulty_links(topology)
-    )
-
-    ring_links = set()
-    ring_nodes = set()
-    for ring in scenario.ring_index.rings:
-        ring_links.update(ring.perimeter_links())
-        ring_nodes.update(ring.perimeter_nodes())
-    for channel in net.channels:
-        if channel.kind is ChannelKind.INTERNODE:
-            link = BiLink.between(
-                channel.src_node, channel.dst_node, channel.dim, topology.radix
-            )
-            channel.on_ring = link in ring_links
-    for coord, node in net.nodes.items():
-        node.on_ring = coord in ring_nodes
-
+    _install_scenario(simulator, scenario, routing)
     _unwire(net, dying_channels, dead_nodes)
     # dying channels left the channel list and killed worms freed their
     # VCs wholesale: rebuild the transfer work-list from scratch
     simulator.transfer.resync()
-
-    # stale route resolutions refer to the old fault view
-    for module in net.modules:
-        for vc in module.waiting:
-            vc.cached_resolution = None
+    _clear_cached_resolutions(net)
 
     # the traffic pattern must stop targeting dead nodes
     simulator.traffic.retarget(net.healthy)
@@ -168,6 +187,10 @@ def apply_runtime_fault(
         dropped_queued=dropped_queued,
         channels_removed=len(dying_channels),
         lost_message_ids=lost_ids,
+        degraded_nodes=info.degraded_nodes,
+        convexify_steps=info.convexify_steps,
+        detection_latency=0,
+        completed_cycle=simulator.now,
     )
 
     # ------------------------------------------------------------------
@@ -178,15 +201,262 @@ def apply_runtime_fault(
     simulator.fault_events += 1
     simulator.killed_in_flight += len(victims)
     simulator.killed_queued += dropped_queued
+    simulator.degraded_nodes_total += len(info.degraded_nodes)
+    simulator.convexify_steps_total += info.convexify_steps
     killed = sorted(victims, key=lambda m: m.msg_id) + dropped_messages
     if simulator.reliability is not None:
         simulator.reliability.on_fault(report, dead_nodes, killed)
     for hook in simulator.fault_hooks:
         hook(report, dead_nodes, killed)
 
+    _strict_check(simulator)
     return report
 
 
+# ----------------------------------------------------------------------
+# staged path (detection_latency > 0)
+# ----------------------------------------------------------------------
+class TransitionWindow:
+    """One open reconfiguration transition.
+
+    Holds the target scenario the network is converging to, the
+    per-node knowledge schedule, and the reports of every fault event
+    that landed while the window was open.  Installed as
+    ``simulator.reconfig``; the engine ticks it every cycle and the
+    allocation stage routes header resolutions through :meth:`resolve`
+    so stale-knowledge routing errors become truncations instead of
+    crashes."""
+
+    def __init__(self, simulator, latency: int):
+        self.sim = simulator
+        self.latency = latency
+        self.started = simulator.now
+        #: the relation every node starts the window with
+        self.stale_routing = simulator.net.routing
+        self.detection = DetectionProcess(simulator.net.topology, latency)
+        #: target of the convergence; replaced if another event lands
+        self.scenario = None
+        self.target_routing = None
+        self.view: Optional[StagedRoutingView] = None
+        self.finalize_cycle = simulator.now
+        self.reports: List[ReconfigurationReport] = []
+        #: explicitly failed nodes already physically removed mid-window
+        self.unwired_nodes: Set[Coord] = set()
+        #: physical link deaths so far (for mid-window bisection numbers)
+        self.unwired_links: Set[BiLink] = set()
+
+    # -- per-node knowledge --------------------------------------------
+    def is_ready(self, coord: Coord) -> bool:
+        """Whether ``coord`` routes on the target relation.  Condemned
+        nodes never converge — they keep stale knowledge until they are
+        switched off at the window close."""
+        if coord in self.scenario.faults.node_faults:
+            return False
+        return self.detection.node_ready(coord, self.sim.now)
+
+    def knowledge_lag(self, coord: Coord) -> int:
+        """Cycles until ``coord`` has complete fault knowledge."""
+        return self.detection.knowledge_lag(coord, self.sim.now)
+
+    # -- allocation-stage fallback --------------------------------------
+    def resolve(self, node, module, vc, routing, share_idle):
+        """Resolve a waiting header during the window.  A stale node may
+        steer a worm at a component that is already gone (RoutingError:
+        the output channel was unwired) or at ring geometry that no
+        longer resolves; fail-stop semantics truncate the worm.  Returns
+        None when the worm was killed."""
+        try:
+            return node.resolve(module, vc.message, routing, share_idle)
+        except (RoutingError, RingGeometryError):
+            self.record_loss(vc.message)
+            return None
+
+    def record_loss(self, message: Message) -> None:
+        sim = self.sim
+        _kill_worm(sim, message)
+        sim.killed_in_flight += 1
+        sim.window_losses += 1
+        report = self.reports[-1]
+        report.dropped_in_flight += 1
+        report.lost_message_ids.append(message.msg_id)
+        report.window_lost_ids.append(message.msg_id)
+        if sim.reliability is not None:
+            sim.reliability.on_window_loss(message)
+
+    # -- lifecycle ------------------------------------------------------
+    def tick(self, now: int) -> None:
+        if now >= self.finalize_cycle:
+            self._finalize(now)
+
+    def _finalize(self, now: int) -> None:
+        """Close the window: switch off the condemned components and
+        install the target scenario exactly as the instantaneous path
+        would have."""
+        sim = self.sim
+        net = sim.net
+        topology = net.topology
+        scenario = self.scenario
+        stale_faults = net.scenario.faults
+
+        all_dead = scenario.faults.node_faults - stale_faults.node_faults
+        remaining_nodes = all_dead - self.unwired_nodes
+        dead_links = scenario.faults.all_faulty_links(topology) - stale_faults.all_faulty_links(
+            topology
+        )
+        dying_channels = _dying_channels(net, remaining_nodes, dead_links)
+
+        victims = _pick_victims(net, dying_channels, all_dead, include_misrouted=True)
+        lost_ids = sorted(m.msg_id for m in victims)
+        for message in victims:
+            _kill_worm(sim, message)
+        dropped_messages = _drop_queued(sim, all_dead)
+
+        _install_scenario(sim, scenario, self.target_routing)
+        _unwire(net, dying_channels, remaining_nodes)
+        sim.transfer.resync()
+        _clear_cached_resolutions(net)
+        sim.traffic.retarget(net.healthy)
+        sim._modules_waiting = {
+            module: None
+            for module in sim._modules_waiting
+            if module.waiting and module.node_coord not in all_dead
+        }
+
+        # fold the closing kills into the window's last report; every id
+        # is counted exactly once (_kill_worm marks and _pick_victims
+        # skips already-killed worms)
+        report = self.reports[-1]
+        report.dropped_in_flight += len(victims)
+        report.dropped_queued += len(dropped_messages)
+        report.lost_message_ids.extend(lost_ids)
+        for open_report in self.reports:
+            open_report.completed_cycle = now
+
+        sim.killed_in_flight += len(victims)
+        sim.killed_queued += len(dropped_messages)
+        sim.detection_cycles.append(now - self.started)
+        sim.reconfig = None
+
+        killed = sorted(victims, key=lambda m: m.msg_id) + dropped_messages
+        if sim.reliability is not None:
+            sim.reliability.on_window_closed(
+                all_dead,
+                killed,
+                dropped_in_flight=len(victims),
+                dropped_queued=len(dropped_messages),
+            )
+        _strict_check(sim)
+
+
+def _stage_event(
+    simulator, addition: FaultSet, base: FaultSet, scenario, info, routing, latency: int
+) -> ReconfigurationReport:
+    net = simulator.net
+    topology = net.topology
+    now = simulator.now
+
+    window = simulator.reconfig
+    fresh = window is None
+    if fresh:
+        window = TransitionWindow(simulator, latency)
+
+    # ------------------------------------------------------------------
+    # only the explicitly failed components die physically now; nodes the
+    # degrade pipeline condemned stay alive until the window closes
+    # ------------------------------------------------------------------
+    explicit_nodes = (
+        addition.node_faults - net.scenario.faults.node_faults - window.unwired_nodes
+    )
+    explicit_links = addition.all_faulty_links(topology)
+    dying_channels = _dying_channels(net, explicit_nodes, explicit_links)
+
+    victims = _pick_victims(net, dying_channels, explicit_nodes, include_misrouted=False)
+    lost_ids = sorted(m.msg_id for m in victims)
+    for message in victims:
+        _kill_worm(simulator, message)
+    dropped_messages = _drop_queued(simulator, explicit_nodes)
+    dropped_queued = len(dropped_messages)
+
+    _unwire(net, dying_channels, explicit_nodes)
+    window.unwired_nodes |= explicit_nodes
+    window.unwired_links |= explicit_links | _incident_links(topology, explicit_nodes)
+    net.healthy = [c for c in net.healthy if c not in explicit_nodes]
+    net.bisection_bandwidth = bisection_bandwidth(
+        topology,
+        net.scenario.faults.all_faulty_links(topology) | window.unwired_links,
+    )
+    simulator.transfer.resync()
+    _clear_cached_resolutions(net)
+    # the workload stops addressing doomed nodes at fault time (placement
+    # is an application-level decision); *routing* knowledge stays stale
+    simulator.traffic.retarget(
+        [c for c in net.healthy if c not in scenario.faults.node_faults]
+    )
+    simulator._modules_waiting = {
+        module: None
+        for module in simulator._modules_waiting
+        if module.waiting and module.node_coord not in explicit_nodes
+    }
+
+    # ------------------------------------------------------------------
+    # point the window at the (possibly revised) target and schedule the
+    # knowledge wavefront of this event
+    # ------------------------------------------------------------------
+    event_dead_nodes = scenario.faults.node_faults - base.node_faults
+    event_dead_links = scenario.faults.all_faulty_links(topology) - base.all_faulty_links(
+        topology
+    )
+    window.scenario = scenario
+    window.target_routing = routing
+    if fresh:
+        window.view = StagedRoutingView(window.stale_routing, routing, window.is_ready)
+        net.routing = window.view
+        simulator.reconfig = window
+    else:
+        window.view.target = routing
+
+    converge = window.detection.announce(
+        now,
+        explicit_nodes=explicit_nodes,
+        explicit_links=addition.link_faults,
+        condemned_rounds=info.condemned_rounds,
+        faults=scenario.faults,
+    )
+    window.finalize_cycle = max(window.finalize_cycle, converge)
+
+    report = ReconfigurationReport(
+        cycle=now,
+        new_node_faults=tuple(sorted(event_dead_nodes)),
+        new_link_faults=tuple(
+            sorted(event_dead_links - _incident_links(topology, event_dead_nodes))
+        ),
+        dropped_in_flight=len(victims),
+        dropped_queued=dropped_queued,
+        channels_removed=len(dying_channels),
+        lost_message_ids=lost_ids,
+        degraded_nodes=info.degraded_nodes,
+        convexify_steps=info.convexify_steps,
+        detection_latency=latency,
+        completed_cycle=None,
+    )
+    window.reports.append(report)
+
+    simulator.fault_events += 1
+    simulator.killed_in_flight += len(victims)
+    simulator.killed_queued += dropped_queued
+    simulator.degraded_nodes_total += len(info.degraded_nodes)
+    simulator.convexify_steps_total += info.convexify_steps
+    killed = sorted(victims, key=lambda m: m.msg_id) + dropped_messages
+    if simulator.reliability is not None:
+        simulator.reliability.on_fault(report, frozenset(explicit_nodes), killed)
+    for hook in simulator.fault_hooks:
+        hook(report, frozenset(explicit_nodes), killed)
+
+    return report
+
+
+# ----------------------------------------------------------------------
+# shared helpers
 # ----------------------------------------------------------------------
 def _incident_links(topology, dead_nodes) -> Set[BiLink]:
     links: Set[BiLink] = set()
@@ -210,9 +480,86 @@ def _dying_channels(net, dead_nodes, dead_links) -> List[PhysicalChannel]:
     return dying
 
 
+def _pick_victims(net, dying_channels, dead_nodes, *, include_misrouted: bool) -> Set[Message]:
+    """Worms truncated by a (partial) reconfiguration: everything holding
+    a virtual channel on a dying channel, everything to or from a dead
+    node, and — for full reconfigurations — everything caught
+    mid-misroute (its f-ring may have changed under it).  Worms an
+    earlier event in the same window already killed are never
+    re-selected (exactly-once loss accounting)."""
+    victims: Set[Message] = set()
+    for channel in dying_channels:
+        for vc in list(channel.busy):
+            message = vc.message
+            if message is not None and not message.killed:
+                victims.add(message)
+    for channel in net.channels:
+        for vc in channel.busy:
+            message = vc.message
+            if message is None or message.killed:
+                continue
+            if message.dst in dead_nodes or message.src in dead_nodes:
+                victims.add(message)
+            elif include_misrouted and message.route.is_misrouted:
+                # conservative: its f-ring may have merged with the new
+                # region; restart-from-scratch semantics are simplest and
+                # match a fail-stop truncation
+                victims.add(message)
+    return victims
+
+
+def _install_scenario(simulator, scenario, routing) -> None:
+    """Swap the target scenario into the network's static structures."""
+    net = simulator.net
+    topology = net.topology
+    net.scenario = scenario
+    net.routing = routing
+    net.healthy = [c for c in topology.nodes() if c not in scenario.faults.node_faults]
+    net.bisection_bandwidth = bisection_bandwidth(
+        topology, scenario.faults.all_faulty_links(topology)
+    )
+
+    ring_links = set()
+    ring_nodes = set()
+    for ring in scenario.ring_index.rings:
+        ring_links.update(ring.perimeter_links())
+        ring_nodes.update(ring.perimeter_nodes())
+    for channel in net.channels:
+        if channel.kind is ChannelKind.INTERNODE:
+            link = BiLink.between(
+                channel.src_node, channel.dst_node, channel.dim, topology.radix
+            )
+            channel.on_ring = link in ring_links
+    for coord, node in net.nodes.items():
+        node.on_ring = coord in ring_nodes
+
+
+def _clear_cached_resolutions(net) -> None:
+    # stale route resolutions refer to the old fault view
+    for module in net.modules:
+        for vc in module.waiting:
+            vc.cached_resolution = None
+
+
+def _strict_check(simulator) -> None:
+    """Re-verify the channel dependency graph is acyclic after a
+    reconfiguration (the ``strict_invariants`` flag; campaign suites turn
+    it on)."""
+    if not getattr(simulator.config, "strict_invariants", False):
+        return
+    from ..analysis.cdg import assert_deadlock_free
+
+    assert_deadlock_free(simulator.net, include_sharing=False)
+
+
 def _kill_worm(simulator, message: Message) -> None:
     """Truncate and discard a worm: free every virtual channel it holds,
-    remove any waiting-header entries, and fix the accounting."""
+    remove any waiting-header entries, and fix the accounting.
+    Idempotent: the ``killed`` mark makes a second kill (back-to-back
+    events in one window) a no-op."""
+    if message.killed:
+        return
+    message.killed = True
     net = simulator.net
     for channel in net.channels:
         for vc in list(channel.busy):
@@ -244,8 +591,8 @@ def _drop_queued(simulator, dead_nodes) -> List[Message]:
             queue.extend(keep)
     for coord in dead_nodes:
         simulator._active_sources.discard(coord)
-        del simulator.queues[coord]
-        del simulator.outstanding[coord]
+        simulator.queues.pop(coord, None)
+        simulator.outstanding.pop(coord, None)
     return dropped
 
 

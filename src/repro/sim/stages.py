@@ -182,6 +182,7 @@ class AllocationStage:
         share_idle = sim.config.effective_sharing
         nodes = sim.net.nodes
         activate = self.transfer.activate
+        reconfig = sim.reconfig
         progress = False
         finished: List[Module] = []
         for module in waiting_set:
@@ -199,7 +200,21 @@ class AllocationStage:
                 resolution = vc.cached_resolution
                 if resolution is None:
                     node = nodes[module.node_coord]
-                    resolution = node.resolve(module, vc.message, routing, share_idle)
+                    if reconfig is not None:
+                        # transition window: a stale node may steer the
+                        # worm at a dead component — the window truncates
+                        # it (loss) instead of letting the error escape
+                        resolution = reconfig.resolve(
+                            node, module, vc, routing, share_idle
+                        )
+                        if resolution is None:
+                            # the kill mutated module.waiting under us;
+                            # rr points at the slot the removal vacated
+                            module.rr = start + offset
+                            progress = True
+                            break
+                    else:
+                        resolution = node.resolve(module, vc.message, routing, share_idle)
                     vc.cached_resolution = resolution
                 downstream = resolution.channel.free_vc(resolution.classes)
                 if downstream is None:

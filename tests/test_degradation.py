@@ -1,0 +1,160 @@
+"""Property tests for the degraded-mode convexification pipeline
+(:func:`repro.faults.degrade_fault_pattern`): arbitrary fault patterns
+converge to valid block fault sets, convex inputs pass through untouched,
+and the sacrifice accounting is consistent.
+"""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    FaultGenerationError,
+    FaultSet,
+    NetworkDisconnectedError,
+    OverlapColoringError,
+    RingGeometryError,
+    blocking_waves,
+    degrade_fault_pattern,
+    generate_random_pattern,
+    validate_fault_pattern,
+)
+from repro.topology import Mesh, Torus
+
+FATAL = (RingGeometryError, NetworkDisconnectedError, OverlapColoringError, FaultGenerationError)
+
+
+def topologies():
+    return [Torus(16, 2), Mesh(16, 2)]
+
+
+def diameter(topology):
+    if isinstance(topology, Torus):
+        return topology.dims * (topology.radix // 2)
+    return topology.dims * (topology.radix - 1)
+
+
+def sample_pattern(topology, rng):
+    """An arbitrary raw pattern: nodes anywhere (interior-only on meshes,
+    where boundary faults are fatal by the paper's model), plus links not
+    incident to them."""
+    if isinstance(topology, Mesh):
+        candidates = [
+            c for c in topology.nodes() if all(0 < x < topology.radix - 1 for x in c)
+        ]
+    else:
+        candidates = list(topology.nodes())
+    nodes = rng.sample(candidates, rng.randint(1, 6))
+    node_set = set(nodes)
+    links = [
+        link
+        for link in topology.links()
+        if link.u not in node_set and link.v not in node_set
+    ]
+    return FaultSet(frozenset(nodes), frozenset(rng.sample(links, rng.randint(0, 2))))
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("topology", topologies(), ids=["torus16", "mesh16"])
+    def test_random_patterns_converge_within_diameter(self, topology):
+        rng = random.Random(1234)
+        checked = 0
+        while checked < 25:
+            faults = sample_pattern(topology, rng)
+            try:
+                scenario, info = degrade_fault_pattern(topology, faults)
+            except FATAL:
+                continue
+            checked += 1
+            # the result is a valid block fault set: the validator accepts
+            # it verbatim, and re-degrading it is a no-op
+            validate_fault_pattern(topology, scenario.faults, allow_blocking=True)
+            again, info2 = degrade_fault_pattern(topology, scenario.faults)
+            assert info2.convexify_steps == 0
+            assert info2.degraded_nodes == ()
+            assert again.faults == scenario.faults
+            # sacrifices are exactly the nodes added beyond the request
+            assert scenario.faults.node_faults >= faults.node_faults
+            assert set(info.degraded_nodes) == (
+                scenario.faults.node_faults - faults.node_faults
+            )
+            # the blocking rule alone reaches its fixpoint within the
+            # network diameter (each wave grows the region by one hop)
+            waves = blocking_waves(topology, scenario.faults.node_faults)
+            assert len(waves) - 1 <= diameter(topology)
+
+    @pytest.mark.parametrize("topology", topologies(), ids=["torus16", "mesh16"])
+    def test_generator_round_trips(self, topology):
+        rng = random.Random(7)
+        for _ in range(5):
+            scenario, info = generate_random_pattern(topology, 4, 1, rng)
+            validate_fault_pattern(topology, scenario.faults, allow_blocking=True)
+            assert len(info.degraded_nodes) == len(
+                scenario.faults.node_faults - info.requested_nodes
+            )
+
+    def test_generator_deterministic_per_seed(self):
+        topology = Torus(16, 2)
+        a, _ = generate_random_pattern(topology, 4, 1, random.Random(42))
+        b, _ = generate_random_pattern(topology, 4, 1, random.Random(42))
+        assert a.faults == b.faults
+
+
+class TestZeroDegradationPath:
+    def test_convex_block_passes_through(self):
+        topology = Torus(16, 2)
+        faults = FaultSet.of(topology, nodes=[(4 + i, 6 + j) for i in range(2) for j in range(3)])
+        reference = validate_fault_pattern(topology, faults, allow_blocking=True)
+        scenario, info = degrade_fault_pattern(topology, faults)
+        assert info.convexify_steps == 0
+        assert info.degraded_nodes == ()
+        assert info.condemned_rounds == {}
+        assert scenario.faults == reference.faults
+        assert len(scenario.ring_index.rings) == len(reference.ring_index.rings)
+        assert scenario.region_layers == reference.region_layers
+
+    def test_blockable_pattern_matches_validator(self):
+        # an L-shape the blocking rule alone convexifies: the validator
+        # (allow_blocking=True) and the degrade pipeline must agree
+        topology = Torus(16, 2)
+        faults = FaultSet.of(topology, nodes=[(4, 4), (5, 4), (5, 5)])
+        reference = validate_fault_pattern(topology, faults, allow_blocking=True)
+        scenario, info = degrade_fault_pattern(topology, faults)
+        assert scenario.faults == reference.faults
+        assert info.convexify_steps == 0
+        assert set(info.degraded_nodes) == reference.faults.node_faults - faults.node_faults
+
+    def test_fatal_patterns_still_raise(self):
+        torus = Torus(16, 2)
+        with pytest.raises(NetworkDisconnectedError):
+            degrade_fault_pattern(
+                torus, FaultSet.of(torus, nodes=[(0, j) for j in range(15)])
+            )
+        mesh = Mesh(16, 2)
+        with pytest.raises((RingGeometryError, NetworkDisconnectedError)):
+            degrade_fault_pattern(mesh, FaultSet.of(mesh, nodes=[(0, 0)]))
+
+
+class TestMergeAccounting:
+    def test_overlap_merge_reports_sacrifices(self):
+        topology = Torus(16, 2)
+        faults = FaultSet.of(topology, nodes=[(4, 4), (5, 6)])
+        scenario, info = degrade_fault_pattern(topology, faults)
+        assert len(scenario.ring_index.rings) == 1
+        assert info.convexify_steps >= 1
+        assert info.merges >= 1
+        assert set(info.degraded_nodes) == {(4, 5), (4, 6), (5, 4), (5, 5)}
+        # every sacrificed node carries a condemnation round >= 1 for the
+        # staged detection schedule
+        for coord in info.degraded_nodes:
+            assert info.condemned_rounds[coord] >= 1
+
+    def test_overlap_kept_when_allowed_and_colorable(self):
+        topology = Torus(16, 2)
+        faults = FaultSet.of(topology, nodes=[(4, 3), (5, 5)])
+        scenario, info = degrade_fault_pattern(
+            topology, faults, allow_overlapping_rings=True
+        )
+        assert len(scenario.ring_index.rings) == 2
+        assert info.degraded_nodes == ()
+        assert scenario.has_overlapping_rings

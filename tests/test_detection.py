@@ -1,0 +1,243 @@
+"""Tests for distributed fault detection and staged reconfiguration:
+the per-node knowledge schedule (:class:`repro.faults.DetectionProcess`),
+the transition window lifecycle, stale-knowledge routing losses, and the
+exactly-once loss accounting across back-to-back events.
+"""
+
+import pytest
+
+from repro.faults import DetectionProcess, FaultSet
+from repro.reliability import ReliabilityConfig, ReliableTransport
+from repro.sim import SimulationConfig, Simulator
+from repro.topology import Torus
+
+
+def running_sim(rate=0.015, cycles=400, seed=5, **kwargs):
+    config = SimulationConfig(
+        topology="torus", radix=8, dims=2, rate=rate,
+        warmup_cycles=0, measure_cycles=10, seed=seed, **kwargs,
+    )
+    sim = Simulator(config)
+    for _ in range(cycles):
+        sim.step()
+    return sim
+
+
+class TestDetectionProcess:
+    def announce(self, latency=3, now=100):
+        topology = Torus(8, 2)
+        process = DetectionProcess(topology, latency)
+        faults = FaultSet.of(topology, nodes=[(4, 4)])
+        converge = process.announce(
+            now,
+            explicit_nodes={(4, 4)},
+            explicit_links=frozenset(),
+            condemned_rounds={},
+            faults=faults,
+        )
+        return process, converge, now, latency
+
+    def test_neighbors_learn_before_distant_nodes(self):
+        process, _converge, now, latency = self.announce()
+        assert not process.node_ready((4, 5), now)
+        assert process.node_ready((4, 5), now + latency)
+        # a node three hops out hears the report strictly later
+        assert not process.node_ready((4, 1), now + latency)
+
+    def test_knowledge_lag_counts_down_to_zero(self):
+        process, converge, now, _latency = self.announce()
+        lag = process.knowledge_lag((0, 0), now)
+        assert lag > 0
+        assert process.knowledge_lag((0, 0), now + lag) == 0
+        assert all(process.node_ready(c, converge) for c in Torus(8, 2).nodes())
+
+    def test_converge_includes_ring_formation_protocol(self):
+        # two extra report rounds after the last node hears the news
+        # (f-ring neighbors exchanging ring-formation messages)
+        process, converge, now, latency = self.announce()
+        last_heard = max(
+            now + process.knowledge_lag(c, now) for c in Torus(8, 2).nodes()
+        )
+        assert converge == last_heard + 2 * latency
+
+    def test_condemned_rounds_delay_the_wavefront(self):
+        topology = Torus(8, 2)
+        fast = DetectionProcess(topology, 3)
+        slow = DetectionProcess(topology, 3)
+        faults = FaultSet.of(topology, nodes=[(4, 4), (4, 5)])
+        kwargs = dict(explicit_links=frozenset(), faults=faults)
+        fast_converge = fast.announce(
+            100, explicit_nodes={(4, 4), (4, 5)}, condemned_rounds={}, **kwargs
+        )
+        slow_converge = slow.announce(
+            100, explicit_nodes={(4, 4)}, condemned_rounds={(4, 5): 1}, **kwargs
+        )
+        # a node condemned by round-1 blocking is announced one report
+        # round later than an explicitly failed one
+        assert slow_converge > fast_converge
+
+
+class TestZeroLatencyParity:
+    def test_instant_path_engages_no_window(self):
+        sim = running_sim(detection_latency=0)
+        report = sim.inject_runtime_fault(nodes=[(4, 4)])
+        assert sim.reconfig is None
+        assert report.detection_latency == 0
+        assert report.completed_cycle == report.cycle == sim.now
+        sim.drain()
+        assert sim.detection_cycles == []
+        assert sim.window_losses == 0
+
+    def test_zero_latency_run_is_deterministic(self):
+        def run():
+            sim = running_sim(detection_latency=0)
+            report = sim.inject_runtime_fault(nodes=[(4, 4)])
+            for _ in range(300):
+                sim.step()
+            sim.drain()
+            return sim._result().to_json(), tuple(report.lost_message_ids)
+
+        assert run() == run()
+
+
+class TestTransitionWindow:
+    def test_explicit_node_dies_immediately(self):
+        sim = running_sim(detection_latency=3)
+        report = sim.inject_runtime_fault(nodes=[(4, 4)])
+        assert sim.reconfig is not None
+        assert report.detection_latency == 3
+        assert report.completed_cycle is None
+        assert (4, 4) not in sim.net.nodes
+        assert (4, 4) not in sim.net.healthy
+        for channel in sim.net.channels:
+            assert channel.src_node != (4, 4) and channel.dst_node != (4, 4)
+
+    def test_window_closes_at_convergence(self):
+        sim = running_sim(detection_latency=3)
+        report = sim.inject_runtime_fault(nodes=[(4, 4)])
+        finalize = sim.reconfig.finalize_cycle
+        assert finalize > sim.now
+        while sim.reconfig is not None:
+            sim.step()
+        assert report.completed_cycle == finalize
+        assert sim.detection_cycles == [finalize - report.cycle]
+        # the installed scenario is the full degraded target
+        assert (4, 4) in sim.net.scenario.faults.node_faults
+        sim.drain()
+        assert sim.in_flight == 0
+
+    def test_condemned_nodes_stay_alive_until_close(self):
+        sim = running_sim(detection_latency=4, rate=0.02)
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        for _ in range(3):
+            sim.step()
+        report = sim.inject_runtime_fault(nodes=[(5, 6)])
+        assert report.degraded_nodes == ((4, 5), (4, 6), (5, 4), (5, 5))
+        # mid-window: sacrificed nodes still route (stale knowledge);
+        # explicitly failed ones are gone
+        for coord in report.degraded_nodes:
+            assert coord in sim.net.nodes
+        assert (5, 6) not in sim.net.nodes
+        while sim.reconfig is not None:
+            sim.step()
+        for coord in report.degraded_nodes:
+            assert coord not in sim.net.nodes
+        assert len(sim.net.scenario.ring_index.rings) == 1
+        sim.drain()
+        assert sim.in_flight == 0
+
+    def test_knowledge_converges_monotonically(self):
+        sim = running_sim(detection_latency=3)
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        window = sim.reconfig
+        ready_counts = []
+        while sim.reconfig is not None:
+            ready_counts.append(
+                sum(1 for c in sim.net.healthy if window.is_ready(c))
+            )
+            sim.step()
+        assert ready_counts[0] < ready_counts[-1]
+        assert ready_counts == sorted(ready_counts)
+
+    def test_drain_waits_for_open_window(self):
+        sim = running_sim(detection_latency=5)
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        assert sim.reconfig is not None
+        sim.drain()
+        assert sim.reconfig is None
+        assert sim.in_flight == 0
+
+    def test_survivability_fields_include_window_metrics(self):
+        sim = running_sim(detection_latency=3, rate=0.02)
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        for _ in range(3):
+            sim.step()
+        sim.inject_runtime_fault(nodes=[(5, 6)])
+        while sim.reconfig is not None:
+            sim.step()
+        sim.drain()
+        result = sim._result()
+        assert result.degraded_nodes == 4
+        assert result.convexify_steps >= 1
+        assert len(result.detection_cycles) == 1
+        assert result.window_losses == sim.window_losses
+
+
+class TestExactlyOnceAccounting:
+    def test_back_to_back_events_never_double_count(self):
+        # regression: a worm truncated by the first event of a window must
+        # not be re-counted by the second event or by the window close
+        sim = running_sim(detection_latency=4, rate=0.02)
+        first = sim.inject_runtime_fault(nodes=[(4, 4)])
+        for _ in range(3):
+            sim.step()
+        second = sim.inject_runtime_fault(nodes=[(5, 6)])
+        while sim.reconfig is not None:
+            sim.step()
+        ids_first = first.lost_message_ids
+        ids_second = second.lost_message_ids
+        assert len(set(ids_first)) == len(ids_first)
+        assert len(set(ids_second)) == len(ids_second)
+        assert not set(ids_first) & set(ids_second)
+        assert sim.killed_in_flight == len(ids_first) + len(ids_second)
+        sim.drain()
+        assert sim.in_flight == 0
+
+    def test_window_losses_recovered_by_transport(self):
+        sim = running_sim(detection_latency=4, rate=0.02, seed=7)
+        transport = ReliableTransport(sim, ReliabilityConfig(timeout=300))
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        for _ in range(3):
+            sim.step()
+        sim.inject_runtime_fault(nodes=[(5, 6)])
+        for _ in range(600):
+            sim.step()
+        sim.drain()
+        stats = transport.stats
+        assert stats.window_losses > 0
+        # exactly-once delivery for every flow whose endpoints survived:
+        # the only unrecovered messages are aborted dead-endpoint flows
+        assert stats.lost <= stats.aborted
+        assert stats.gave_up == 0
+        assert stats.duplicates >= 0
+        for track in transport.fault_events:
+            assert track.recovered_cycle is not None
+
+    def test_chaos_run_with_strict_invariants(self):
+        # a previously-rejected overlapping pattern through the staged
+        # detection path, with the CDG acyclicity check re-run after every
+        # reconfiguration
+        sim = running_sim(
+            detection_latency=2, rate=0.02, strict_invariants=True
+        )
+        transport = ReliableTransport(sim, ReliabilityConfig(timeout=300))
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        for _ in range(40):
+            sim.step()
+        sim.inject_runtime_fault(nodes=[(5, 6)])
+        for _ in range(400):
+            sim.step()
+        sim.drain()
+        stats = transport.stats
+        assert stats.lost <= stats.aborted
+        assert sim.in_flight == 0

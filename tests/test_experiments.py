@@ -106,6 +106,17 @@ class TestExt3d:
         assert "cube fault" in text and "peak rho_b" in text
 
 
+class TestChaosHarness:
+    def test_chaos_report_runs_quick(self):
+        from repro.experiments import chaos_report
+        from repro.experiments.context import RunContext
+
+        text = chaos_report("quick", ctx=RunContext(scale_name="quick"))
+        assert "Chaos campaign" in text
+        assert "degraded mode:" in text
+        assert "transition window" in text
+
+
 class TestCli:
     def test_parser_choices(self):
         parser = build_parser()

@@ -190,10 +190,18 @@ class TestLayeredNetwork:
         assert sim.in_flight == 0
         assert result.misrouted_messages > 0
 
-    def test_rejected_without_flag(self):
+    def test_degraded_without_flag(self):
+        # without the extra-VC flag the overlap is no longer rejected: the
+        # degraded-mode pipeline merges both rings into one enclosing
+        # block and reports the sacrificed healthy nodes
         config = self._config(allow_overlapping_rings=False)
-        with pytest.raises(RingGeometryError):
-            SimNetwork(config)
+        net = SimNetwork(config)
+        assert net.degradation is not None
+        assert net.degradation.degraded_nodes == ((4, 4), (4, 5), (5, 3), (5, 4))
+        assert net.degradation.convexify_steps == 1
+        assert len(net.scenario.ring_index.rings) == 1
+        assert not net.scenario.has_overlapping_rings
+        assert net.num_classes == 4
 
     def test_composes_with_protocol_banks(self):
         config = self._config(

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.faults import RingGeometryError
+from repro.faults import NetworkDisconnectedError
 from repro.router import ChannelKind
 from repro.sim import SimulationConfig, Simulator
 
@@ -61,10 +61,29 @@ class TestFaultEvent:
         sim = running_sim()
         sim.inject_runtime_fault(nodes=[(4, 4)])
         channels_before = len(sim.net.channels)
-        # an overlapping-ring fault pattern must be rejected atomically
-        with pytest.raises(RingGeometryError):
-            sim.inject_runtime_fault(nodes=[(5, 6)])
+        # a fatal pattern (this one spans a full torus ring, disconnecting
+        # the network) must be rejected atomically
+        with pytest.raises(NetworkDisconnectedError):
+            sim.inject_runtime_fault(nodes=[(0, j) for j in range(7)])
         assert len(sim.net.channels) == channels_before
+        assert sim.fault_events == 1
+
+    def test_overlapping_event_degrades(self):
+        # this pattern used to be rejected with RingGeometryError; the
+        # degraded-mode pipeline now merges the overlapping rings into one
+        # enclosing block, sacrificing the healthy nodes in between
+        sim = running_sim()
+        sim.inject_runtime_fault(nodes=[(4, 4)])
+        report = sim.inject_runtime_fault(nodes=[(5, 6)])
+        assert report.degraded_nodes == ((4, 5), (4, 6), (5, 4), (5, 5))
+        assert report.convexify_steps >= 1
+        assert len(sim.net.scenario.ring_index.rings) == 1
+        for coord in report.degraded_nodes:
+            assert coord not in sim.net.nodes
+            assert coord not in sim.net.healthy
+        assert sim.degraded_nodes_total == 4
+        sim.drain()
+        assert sim.in_flight == 0
 
     def test_empty_event_rejected(self):
         sim = running_sim()

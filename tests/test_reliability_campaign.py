@@ -18,6 +18,8 @@ def make_sim(rate=0.01, radix=8, seed=5, **kwargs):
     base = dict(
         topology="torus", radix=radix, dims=2, rate=rate,
         warmup_cycles=0, measure_cycles=10, seed=seed,
+        # re-verify CDG acyclicity after every reconfiguration
+        strict_invariants=True,
     )
     base.update(kwargs)
     return Simulator(SimulationConfig(**base))
@@ -111,12 +113,46 @@ class TestSeededGenerators:
         assert sim.fault_events == len(campaign)
 
 
+class TestChaosGenerator:
+    def topology(self):
+        return make_sim().net.topology
+
+    def test_deterministic_per_seed(self):
+        topo = self.topology()
+        a = FaultCampaign.chaos(topo, count=3, seed=3)
+        b = FaultCampaign.chaos(topo, count=3, seed=3)
+        c = FaultCampaign.chaos(topo, count=3, seed=4)
+        assert list(a) == list(b)
+        assert list(a) != list(c)
+        assert len(a) == 3
+
+    def test_chaos_events_drive_degraded_staged_path(self):
+        # chaos draws are NOT pre-blocked: injecting them exercises the
+        # runtime degrade pipeline plus the staged detection window, with
+        # strict CDG checking on (make_sim default)
+        sim = make_sim(rate=0.015, detection_latency=3)
+        for _ in range(150):
+            sim.step()
+        campaign = FaultCampaign.chaos(sim.net.topology, count=3, seed=11)
+        assert len(campaign) == 3
+        for event in campaign:
+            sim.inject_runtime_fault(nodes=event.nodes, links=event.links)
+            for _ in range(80):
+                sim.step()
+        sim.drain()
+        assert sim.fault_events == 3
+        assert sim.in_flight == 0
+        assert sim.detection_cycles  # at least one window closed
+
+
 class TestRunCampaign:
     def scripted(self):
+        # the second event spans a full torus ring: fatal (disconnects the
+        # network), so the replay records it as rejected and continues
         return FaultCampaign(
             [
                 FaultEvent(300, nodes=((4, 4),), label="first"),
-                FaultEvent(500, nodes=((5, 6),), label="overlaps first ring"),
+                FaultEvent(500, nodes=tuple((0, j) for j in range(7)), label="fatal row"),
                 FaultEvent(700, nodes=((0, 0),), label="third"),
             ]
         )
@@ -131,6 +167,23 @@ class TestRunCampaign:
         assert rejected.report is None
         assert outcome.drained
         assert sim.in_flight == 0
+
+    def test_degrading_event_applies_with_sacrifices(self):
+        # a second fault whose ring would overlap the first is no longer
+        # rejected: degraded mode merges the rings and reports sacrifices
+        sim = make_sim()
+        campaign = FaultCampaign(
+            [
+                FaultEvent(300, nodes=((4, 4),), label="first"),
+                FaultEvent(500, nodes=((5, 6),), label="overlaps first ring"),
+            ]
+        )
+        outcome = replay_campaign(sim, campaign, settle_cycles=200)
+        assert [r.applied for r in outcome.records] == [True, True]
+        report = outcome.records[1].report
+        assert report.degraded_nodes == ((4, 5), (4, 6), (5, 4), (5, 5))
+        assert report.convexify_steps >= 1
+        assert outcome.drained and sim.in_flight == 0
 
     def test_epochs_and_reports(self):
         sim = make_sim()

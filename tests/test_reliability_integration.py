@@ -39,6 +39,7 @@ def build_sim():
     config = SimulationConfig(
         topology="torus", radix=16, dims=2, rate=0.006,
         warmup_cycles=0, measure_cycles=10, seed=7,
+        strict_invariants=True,
     )
     return Simulator(config)
 
