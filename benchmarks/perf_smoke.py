@@ -20,6 +20,19 @@ transition window closes).  The cost is expressed in *equivalent
 simulation cycles* — wall time over the same sim's per-cycle step time —
 so it is machine-independent too; ``--check`` fails when it exceeds
 ``RECONFIG_REGRESSION_FACTOR`` (125%) of the committed baseline.
+
+Finally the smoke gates the observability tracer both ways:
+
+* **disabled** — a run without a tracer attached pays only ``tracer is
+  not None`` pointer checks; ``--check`` fails when the tracer-disabled
+  measurement falls more than ``TRACING_DISABLED_LIMIT`` (2%) below a
+  plain run measured back-to-back in the same interleaved loop (the two
+  are the identical code path, so the gate pins the no-op contract
+  against the disabled state ever growing real work).
+* **enabled** — the slowdown factor of a fully-traced run (events +
+  100-cycle time series) is recorded in the baseline; ``--check`` fails
+  when the measured factor exceeds ``TRACING_REGRESSION_FACTOR`` (125%)
+  of the committed one.
 """
 
 from __future__ import annotations
@@ -54,6 +67,15 @@ RECONFIG_NODES = ((4, 4), (5, 6))
 RECONFIG_BASELINE_CYCLES = 400
 #: a measured reconfiguration cost above this multiple of the baseline fails
 RECONFIG_REGRESSION_FACTOR = 1.25
+
+#: tracing smoke: the rate where the paper's latency curves live
+TRACING_RATE = 0.002
+#: the tracer-disabled run may be at most 2% slower than the plain
+#: active-core run measured in the same process
+TRACING_DISABLED_LIMIT = 1.02
+#: a measured tracer-enabled slowdown above this multiple of the
+#: committed baseline slowdown fails
+TRACING_REGRESSION_FACTOR = 1.25
 
 
 def _cycles_per_second(core: str, rate: float) -> float:
@@ -105,6 +127,39 @@ def _reconfiguration_cost() -> dict:
     }
 
 
+def _tracing_cost() -> dict:
+    from repro.obs import TraceConfig, Tracer
+
+    config = SimulationConfig(
+        topology="torus", radix=RADIX, dims=2, rate=TRACING_RATE,
+        warmup_cycles=0, measure_cycles=10, seed=42,
+    )
+    best = {"plain": 0.0, "disabled": 0.0, "enabled": 0.0}
+    # interleave the variants so clock drift hits all of them equally;
+    # "plain" and "disabled" are both tracer-less runs measured
+    # back-to-back, which is what the no-op contract promises
+    for _ in range(REPETITIONS):
+        for variant in ("plain", "disabled", "enabled"):
+            sim = Simulator(config)
+            if variant == "enabled":
+                Tracer(sim, TraceConfig(window=100))
+            for _ in range(WARMUP_CYCLES):
+                sim.step()
+            start = time.perf_counter()
+            for _ in range(MEASURE_CYCLES):
+                sim.step()
+            cps = MEASURE_CYCLES / (time.perf_counter() - start)
+            best[variant] = max(best[variant], cps)
+    return {
+        "rate": TRACING_RATE,
+        "plain_cycles_per_sec": round(best["plain"], 1),
+        "disabled_cycles_per_sec": round(best["disabled"], 1),
+        "enabled_cycles_per_sec": round(best["enabled"], 1),
+        "disabled_overhead": round(best["plain"] / best["disabled"], 3),
+        "enabled_overhead": round(best["disabled"] / best["enabled"], 3),
+    }
+
+
 def measure() -> dict:
     points = {}
     for rate in RATES:
@@ -125,6 +180,12 @@ def measure() -> dict:
         f"({reconfig['window_cycles']} window cycles at detection latency "
         f"{reconfig['detection_latency']})"
     )
+    tracing = _tracing_cost()
+    print(
+        f"tracing: disabled={tracing['disabled_cycles_per_sec']:9.1f} c/s  "
+        f"enabled={tracing['enabled_cycles_per_sec']:9.1f} c/s  "
+        f"overhead={tracing['enabled_overhead']:.2f}x"
+    )
     return {
         "config": {
             "topology": "torus", "radix": RADIX, "dims": 2,
@@ -133,6 +194,7 @@ def measure() -> dict:
         },
         "rates": points,
         "reconfiguration": reconfig,
+        "tracing": tracing,
     }
 
 
@@ -168,6 +230,39 @@ def check(measured: dict, baseline: dict) -> int:
         f"baseline {base['cost_cycles']:.1f} (ceiling {ceiling:.1f}) -> {verdict}"
     )
     if got["cost_cycles"] > ceiling:
+        failures += 1
+    failures += _check_tracing(measured, baseline)
+    return failures
+
+
+def _check_tracing(measured: dict, baseline: dict) -> int:
+    failures = 0
+    got = measured.get("tracing")
+    if got is None:
+        print("tracing: missing from measurement", file=sys.stderr)
+        return 1
+    # disabled gate: same-loop comparison against the interleaved plain
+    # measurement (needs no baseline entry)
+    ratio = got["disabled_overhead"]
+    verdict = "ok" if ratio <= TRACING_DISABLED_LIMIT else "REGRESSION"
+    print(
+        f"tracing disabled: {got['disabled_cycles_per_sec']:.1f} c/s vs "
+        f"plain {got['plain_cycles_per_sec']:.1f} c/s (x{ratio:.3f}, "
+        f"limit x{TRACING_DISABLED_LIMIT}) -> {verdict}"
+    )
+    if ratio > TRACING_DISABLED_LIMIT:
+        failures += 1
+    base = baseline.get("tracing")
+    if base is None:
+        print("tracing: no baseline entry; skipping (--write to add)")
+        return failures
+    ceiling = TRACING_REGRESSION_FACTOR * base["enabled_overhead"]
+    verdict = "ok" if got["enabled_overhead"] <= ceiling else "REGRESSION"
+    print(
+        f"tracing enabled: overhead {got['enabled_overhead']:.2f}x vs baseline "
+        f"{base['enabled_overhead']:.2f}x (ceiling {ceiling:.2f}x) -> {verdict}"
+    )
+    if got["enabled_overhead"] > ceiling:
         failures += 1
     return failures
 

@@ -19,6 +19,7 @@ from .instrumentation import (
 from .report import (
     ascii_chart,
     campaign_table,
+    deadlock_report,
     format_table,
     latency_series,
     results_table,
@@ -31,6 +32,7 @@ __all__ = [
     "ascii_chart",
     "campaign_table",
     "channel_utilizations",
+    "deadlock_report",
     "hotspot_report",
     "latency_histogram",
     "latency_summary",

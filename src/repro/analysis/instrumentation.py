@@ -39,12 +39,30 @@ class ChannelLoad:
         )
 
 
+def _measurement_window(simulator: Simulator) -> Tuple[int, Dict[int, int]]:
+    """Denominator and per-channel transfer baseline for utilization.
+
+    When the run went through the warmup boundary
+    (``Simulator.measure_start_cycle`` is set), utilization is computed
+    over the measurement window only — dividing by ``simulator.now``
+    would mix warmup traffic into the claim.  Runs driven without
+    ``run()`` (tests, drains) fall back to whole-run utilization."""
+    start = simulator.measure_start_cycle
+    if start is None:
+        return max(simulator.now, 1), {}
+    return max(simulator.now - start, 1), simulator._measure_transfer_base
+
+
+def _channel_utilization(channel, cycles: int, base: Dict[int, int]) -> float:
+    return (channel.transfers - base.get(id(channel), 0)) / cycles
+
+
 def channel_utilizations(simulator: Simulator) -> Dict[str, float]:
-    """Per-internode-channel utilization (flits transferred / elapsed
-    cycles), keyed by channel name."""
-    cycles = max(simulator.now, 1)
+    """Per-internode-channel utilization (flits transferred per cycle
+    over the measurement window), keyed by channel name."""
+    cycles, base = _measurement_window(simulator)
     return {
-        channel.name: channel.transfers / cycles
+        channel.name: _channel_utilization(channel, cycles, base)
         for channel in simulator.net.channels
         if channel.kind is ChannelKind.INTERNODE
     }
@@ -53,12 +71,14 @@ def channel_utilizations(simulator: Simulator) -> Dict[str, float]:
 def hotspot_report(simulator: Simulator) -> Dict[str, ChannelLoad]:
     """Utilization of f-ring channels versus ordinary channels — the
     quantified version of the paper's hotspot observation."""
-    cycles = max(simulator.now, 1)
+    cycles, base = _measurement_window(simulator)
     ring, other = [], []
     for channel in simulator.net.channels:
         if channel.kind is not ChannelKind.INTERNODE:
             continue
-        (ring if channel.on_ring else other).append(channel.transfers / cycles)
+        (ring if channel.on_ring else other).append(
+            _channel_utilization(channel, cycles, base)
+        )
     return {"f-ring": ChannelLoad.of(ring), "other": ChannelLoad.of(other)}
 
 
@@ -70,11 +90,13 @@ def utilization_heatmap(simulator: Simulator) -> str:
     topology = net.topology
     if topology.dims != 2:
         raise ValueError("the heatmap renders 2D networks only")
-    cycles = max(simulator.now, 1)
+    cycles, base = _measurement_window(simulator)
     per_node: Dict[Tuple[int, int], List[float]] = {}
     for channel in net.channels:
         if channel.kind is ChannelKind.INTERNODE:
-            per_node.setdefault(channel.src_node, []).append(channel.transfers / cycles)
+            per_node.setdefault(channel.src_node, []).append(
+                _channel_utilization(channel, cycles, base)
+            )
     peak = max((max(v) for v in per_node.values() if v), default=1.0) or 1.0
     faulty = net.scenario.faults.node_faults
     lines = []

@@ -192,6 +192,31 @@ def survivability_summary(outcome) -> str:
     return "\n".join(lines)
 
 
+def deadlock_report(error) -> str:
+    """Render a :class:`repro.sim.DeadlockError` post-mortem: the stuck
+    worm snapshot followed by, when the run had a tracer attached, the
+    flight recorder's last allocation/transfer events per stuck worm."""
+    lines = [f"network deadlocked at cycle {error.cycle}"]
+    lines.append(
+        f"stuck worms: {error.total_busy} busy virtual channel(s)"
+        + (f", showing {len(error.worms)}" if error.truncated else "")
+    )
+    for worm in error.worms:
+        lines.append(worm.describe())
+        if error.trace_tail:
+            history = [e for e in error.trace_tail if e.msg_id == worm.msg_id][-4:]
+            for event in history:
+                where = f" on {event.channel}" if event.channel else ""
+                at = f" at {event.node}" if event.node is not None else ""
+                lines.append(f"      cycle {event.cycle}: {event.kind}{where}{at}")
+    if not error.trace_tail:
+        lines.append(
+            "(no flight-recorder history: attach a Tracer to record "
+            "the last events before the stall)"
+        )
+    return "\n".join(lines)
+
+
 def latency_series(results: Sequence[SimulationResult]) -> List[tuple]:
     return [(r.applied_load_flits_per_node, r.avg_latency) for r in results]
 

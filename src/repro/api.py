@@ -112,23 +112,35 @@ class Experiment:
     Build one with :meth:`point`, :meth:`sweep`, :meth:`from_configs` or
     :meth:`campaign`; concatenate experiments with ``+`` to run
     heterogeneous batches in one pool; then call :meth:`run`.
+
+    ``trace`` attaches a :class:`repro.obs.TraceConfig` to every task:
+    each run records lifecycle events and windowed time series and
+    exports them under ``trace.out_dir`` (results are unchanged — the
+    tracer observes without perturbing — but traced tasks always
+    execute instead of being served from the result store, so the trace
+    files actually get produced).
     """
 
     tasks: Tuple[Any, ...]
     label: str = ""
+    trace: Optional[Any] = None  #: :class:`repro.obs.TraceConfig`
 
     # --- constructors --------------------------------------------------
     @classmethod
-    def point(cls, config: SimulationConfig, *, label: str = "") -> "Experiment":
+    def point(
+        cls, config: SimulationConfig, *, label: str = "", trace=None
+    ) -> "Experiment":
         """One simulation point."""
-        return cls(tasks=(PointTask(config),), label=label)
+        return cls(tasks=(PointTask(config),), label=label, trace=trace)
 
     @classmethod
     def from_configs(
-        cls, configs: Sequence[SimulationConfig], *, label: str = ""
+        cls, configs: Sequence[SimulationConfig], *, label: str = "", trace=None
     ) -> "Experiment":
         """One point per explicit configuration, in order."""
-        return cls(tasks=tuple(PointTask(c) for c in configs), label=label)
+        return cls(
+            tasks=tuple(PointTask(c) for c in configs), label=label, trace=trace
+        )
 
     @classmethod
     def sweep(
@@ -138,6 +150,7 @@ class Experiment:
         *,
         seeds: Optional[Sequence[int]] = None,
         label: str = "",
+        trace=None,
     ) -> "Experiment":
         """The latency-vs-load axis behind Figures 8-10: ``base`` swept
         across message-generation ``rates``.  With ``seeds``, every rate
@@ -149,7 +162,7 @@ class Experiment:
                 configs.append(replace(base, rate=rate))
             else:
                 configs.extend(replace(base, rate=rate, seed=s) for s in seeds)
-        return cls.from_configs(configs, label=label)
+        return cls.from_configs(configs, label=label, trace=trace)
 
     @classmethod
     def campaign(
@@ -161,6 +174,7 @@ class Experiment:
         settle_cycles: int = 1_000,
         drain: bool = True,
         label: str = "",
+        trace=None,
     ) -> "Experiment":
         """One fault-injection campaign replay: run ``config`` under the
         given :class:`~repro.reliability.FaultCampaign`, with the
@@ -173,13 +187,17 @@ class Experiment:
             settle_cycles=settle_cycles,
             drain=drain,
         )
-        return cls(tasks=(task,), label=label)
+        return cls(tasks=(task,), label=label, trace=trace)
 
     def __add__(self, other: "Experiment") -> "Experiment":
         label = self.label if self.label == other.label else (
             f"{self.label}+{other.label}".strip("+")
         )
-        return Experiment(tasks=self.tasks + other.tasks, label=label)
+        return Experiment(
+            tasks=self.tasks + other.tasks,
+            label=label,
+            trace=self.trace if self.trace is not None else other.trace,
+        )
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -212,8 +230,11 @@ class Experiment:
                 store = cache
             elif cache:
                 store = ResultStore()
+        tasks = self.tasks
+        if self.trace is not None:
+            tasks = tuple(replace(task, trace=self.trace) for task in tasks)
         payloads, stats = execute(
-            self.tasks,
+            tasks,
             jobs=jobs,
             store=store,
             progress=progress,

@@ -54,13 +54,22 @@ from .store import ResultStore
 class PointTask:
     """One simulation point: build (or reuse) the network, run, return
     the :class:`SimulationResult`.  Cacheable — the result is fully
-    determined by the config."""
+    determined by the config (tracing observes without perturbing, so a
+    traced run returns the same result; the executor only skips store
+    *loads* for traced tasks so the trace files actually get produced).
+    """
 
     config: SimulationConfig
+    trace: Optional[Any] = None  #: :class:`repro.obs.TraceConfig`
     cacheable = True
 
     def execute(self) -> SimulationResult:
-        return Simulator(self.config, _shared_network(self.config)).run()
+        sim = Simulator(self.config, _shared_network(self.config))
+        tracer = _attach_tracer(sim, self.trace)
+        result = sim.run()
+        if tracer is not None:
+            _export_tracer(tracer, self.trace, f"point-{self.config.content_hash()[:12]}")
+        return result
 
 
 @dataclass(frozen=True)
@@ -79,6 +88,7 @@ class CampaignTask:
     reliability: Optional[Any] = None  #: :class:`repro.reliability.ReliabilityConfig`
     settle_cycles: int = 1_000
     drain: bool = True
+    trace: Optional[Any] = None  #: :class:`repro.obs.TraceConfig`
     cacheable = False
 
     def execute(self) -> "CampaignReplay":
@@ -88,9 +98,14 @@ class CampaignTask:
         sim = Simulator(self.config)
         if self.reliability is not None:
             ReliableTransport(sim, self.reliability)
+        tracer = _attach_tracer(sim, self.trace)
         outcome = replay_campaign(
             sim, self.campaign, settle_cycles=self.settle_cycles, drain=self.drain
         )
+        if tracer is not None:
+            _export_tracer(
+                tracer, self.trace, f"campaign-{self.config.content_hash()[:12]}"
+            )
         return CampaignReplay(
             result=sim._result(),
             outcome=outcome,
@@ -105,6 +120,27 @@ class CampaignReplay:
     result: SimulationResult
     outcome: Any  #: :class:`repro.reliability.CampaignOutcome`
     network_description: str
+
+
+# ----------------------------------------------------------------------
+# tracing support (worker-side)
+# ----------------------------------------------------------------------
+
+
+def _attach_tracer(sim: Simulator, trace) -> Optional[Any]:
+    """Attach a :class:`repro.obs.Tracer` when the task asks for one.
+    Imported lazily so untraced runs never touch the obs package."""
+    if trace is None:
+        return None
+    from ..obs import Tracer
+
+    return Tracer(sim, trace)
+
+
+def _export_tracer(tracer, trace, stem: str) -> List[Any]:
+    from ..obs import export_trace
+
+    return export_trace(tracer, trace.out_dir, stem)
 
 
 # ----------------------------------------------------------------------
@@ -271,7 +307,9 @@ def execute(
     pending: List[int] = []
     for index, task in enumerate(tasks):
         hit = None
-        if store is not None and task.cacheable:
+        # traced tasks always execute: a cache hit would return the same
+        # result but skip producing the trace files the caller asked for
+        if store is not None and task.cacheable and getattr(task, "trace", None) is None:
             hit = store.load(task.config)
         if hit is not None:
             stats.cache_hits += 1

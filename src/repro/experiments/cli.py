@@ -12,6 +12,8 @@ argparse parents)::
     repro-experiments throughput --seed 3              # Section 6 raw numbers
     repro-experiments campaign --jobs 2                # runtime-fault survivability
     repro-experiments chaos --seed 3                   # arbitrary patterns, staged detection
+    repro-experiments trace --scale quick              # fully-traced faulty run
+    repro-experiments fig8 --trace --trace-out traces  # trace any experiment
     repro-experiments all --scale paper --out results.txt
 
 ``--jobs N`` fans sweep points out over N worker processes (0 = one per
@@ -32,11 +34,13 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from ..exec import ProgressEvent, ResultStore
+from ..obs import TraceConfig
 from .campaign import campaign_report, chaos_report
 from .context import RunContext
 from .extension3d import ext3d
 from .figures import FigureResult, fig8, fig9, fig10, throughput_summary
 from .tables import tables_report
+from .tracecmd import trace_report
 
 
 def _figure_runner(fn) -> Callable[[RunContext], str]:
@@ -58,6 +62,7 @@ _COMMANDS: Dict[str, Callable[[RunContext], str]] = {
     "ext3d": lambda ctx: ext3d(ctx.scale_name, ctx=ctx),
     "campaign": lambda ctx: campaign_report(ctx.scale_name, ctx=ctx),
     "chaos": lambda ctx: chaos_report(ctx.scale_name, ctx=ctx),
+    "trace": lambda ctx: trace_report(ctx.scale_name, ctx=ctx),
 }
 
 _DESCRIPTIONS = {
@@ -69,6 +74,8 @@ _DESCRIPTIONS = {
     "ext3d": "extension: 3D torus PDR under a cube fault",
     "campaign": "extension: runtime-fault survivability campaign",
     "chaos": "extension: arbitrary fault patterns through staged detection",
+    "trace": "observability: a fully-traced faulty run with exported "
+    "event log, time series, and Chrome trace",
     "all": "every experiment in sequence",
 }
 
@@ -125,6 +132,32 @@ def _exec_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _trace_parent() -> argparse.ArgumentParser:
+    """Flags shared by every subcommand: observability tracing.  The
+    ``trace`` subcommand always traces; for every other experiment
+    ``--trace`` opts in (traced points always execute — no cache
+    serving — so the trace files actually get produced)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace",
+        action="store_true",
+        help="record lifecycle events and windowed time series for every "
+        "simulated point and export JSONL/CSV/Chrome-trace files",
+    )
+    parent.add_argument(
+        "--trace-out",
+        default="traces",
+        help="directory for exported trace files (default: ./traces)",
+    )
+    parent.add_argument(
+        "--trace-window",
+        type=int,
+        default=100,
+        help="time-series sampling window in cycles (0 disables the series)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -133,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Routers' (Chalasani & Boppana, HPCA 1996)."
         ),
     )
-    parents = [_scale_parent(), _exec_parent()]
+    parents = [_scale_parent(), _exec_parent(), _trace_parent()]
     subparsers = parser.add_subparsers(
         dest="experiment",
         metavar="experiment",
@@ -171,12 +204,16 @@ def _make_context(args: argparse.Namespace) -> RunContext:
     store: Optional[ResultStore] = None
     if args.cache:
         store = ResultStore(args.cache_dir or None)
+    trace: Optional[TraceConfig] = None
+    if args.trace or args.experiment == "trace":
+        trace = TraceConfig(out_dir=args.trace_out, window=args.trace_window)
     return RunContext(
         scale_name=args.scale,
         jobs=args.jobs,
         store=store,
         seed=args.seed,
         progress=_ProgressPrinter(),
+        trace=trace,
     )
 
 

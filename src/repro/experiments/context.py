@@ -10,8 +10,8 @@ command for the final report line.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
 
 from ..api import Experiment, ResultSet
 from ..exec import ExecutionStats, ProgressEvent, ResultStore
@@ -37,6 +37,9 @@ class RunContext:
     seed: Optional[int] = None
     #: called with each :class:`ProgressEvent`, tagged with a label
     progress: Optional[Callable[[str, ProgressEvent], None]] = None
+    #: when set (``--trace``), every experiment this context runs records
+    #: and exports traces (a :class:`repro.obs.TraceConfig`)
+    trace: Optional[Any] = None
     #: accumulated over every :meth:`run` in this context
     totals: ExecutionStats = field(default_factory=ExecutionStats)
 
@@ -54,6 +57,8 @@ class RunContext:
         if self.progress is not None:
             label = experiment.label
             callback = lambda event: self.progress(label, event)  # noqa: E731
+        if self.trace is not None and experiment.trace is None:
+            experiment = replace(experiment, trace=self.trace)
         result = experiment.run(
             jobs=self.jobs,
             cache=False,

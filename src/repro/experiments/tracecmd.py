@@ -1,0 +1,99 @@
+"""``repro-experiments trace`` — one fully-traced faulty-torus run.
+
+Runs a 5%-faults torus point at the selected scale with the observability
+tracer attached, exports the event log (JSONL), the windowed time series
+(CSV) and the Chrome trace JSON (open it in Perfetto or
+``chrome://tracing``), and prints the dynamic story next to the static
+one: the per-window f-ring vs ordinary-channel utilization series should
+reproduce the hotspot gap that ``hotspot_report`` measures from
+end-of-run aggregates (the paper's Section 6 observation, now visible as
+it happens).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis import ascii_chart, hotspot_report
+from ..obs import TraceConfig, Tracer, export_trace
+from ..sim import SimulationConfig, Simulator
+from .context import RunContext
+
+
+def trace_report(scale_name: str = "", *, ctx: Optional[RunContext] = None) -> str:
+    """Run the traced point and render event counts, the f-ring time
+    series, and the static-vs-dynamic hotspot-gap comparison."""
+    if ctx is None:
+        ctx = RunContext(scale_name=scale_name)
+    scale = ctx.scale
+    trace = ctx.trace if ctx.trace is not None else TraceConfig()
+    config = SimulationConfig(
+        topology="torus",
+        radix=scale.radix,
+        dims=2,
+        fault_percent=5,
+        rate=scale.rate_grids[5][2],
+        warmup_cycles=scale.warmup_cycles,
+        measure_cycles=scale.measure_cycles,
+        seed=ctx.seed_or(17),
+    )
+    sim = Simulator(config)
+    tracer = Tracer(sim, trace)
+    result = sim.run()
+    ctx.totals.total += 1
+    ctx.totals.executed += 1
+    paths = export_trace(tracer, trace.out_dir, f"trace-{config.content_hash()[:12]}")
+
+    counts = tracer.counts()
+    static = hotspot_report(sim)
+    static_gap = static["f-ring"].mean_utilization - static["other"].mean_utilization
+    series = tracer.series
+    chunks = [
+        f"# Traced run — {sim.net.describe()}",
+        f"rate {config.rate}, {config.warmup_cycles} warmup + "
+        f"{config.measure_cycles} measured cycles, seed {config.seed}",
+        "",
+        "## Event counts",
+        "\n".join(
+            f"  {kind:<20} {counts[kind]:>8}" for kind in sorted(counts)
+        ),
+        f"  (full log: {len(tracer.events)} events, "
+        f"{tracer.dropped_events} dropped past the cap)",
+    ]
+    if series is not None and series.samples:
+        measured = [s for s in series.samples if s.cycle > config.warmup_cycles]
+        gaps = [s.ring_utilization - s.other_utilization for s in measured]
+        dynamic_gap = sum(gaps) / len(gaps) if gaps else 0.0
+        chunks += [
+            "",
+            f"## f-ring vs ordinary channel utilization "
+            f"(per {series.window}-cycle window)",
+            ascii_chart(
+                {
+                    "f-ring": series.ring_series(),
+                    "other": series.other_series(),
+                },
+                x_label="cycle",
+                y_label="flits/cycle",
+            ),
+            "",
+            "## Hotspot gap (f-ring minus ordinary mean utilization)",
+            f"  static  (hotspot_report, measurement window): {static_gap:+.4f}",
+            f"  dynamic (time-series mean over measured windows): {dynamic_gap:+.4f}",
+            "  => the f-ring runs hotter throughout the run, not just on average"
+            if static_gap > 0 and dynamic_gap > 0
+            else "  (no hotspot gap at this load/fault configuration)",
+        ]
+    chunks += [
+        "",
+        "## Exported trace files",
+        "\n".join(f"  {path}" for path in paths),
+        "  open the .trace.json in Perfetto (https://ui.perfetto.dev) or "
+        "chrome://tracing",
+        "",
+        "## Run result",
+        f"  delivered {result.delivered} messages, "
+        f"avg latency {result.avg_latency:.1f} cycles, "
+        f"{result.misrouted_messages} misrouted",
+    ]
+    return "\n".join(chunks)

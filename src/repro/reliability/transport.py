@@ -387,6 +387,8 @@ class ReliableTransport:
             seq=flow.seq,
             attempt=flow.attempt,
         )
+        if sim.tracer is not None:
+            sim.tracer.on_retransmit(now, flow.src, flow.dst, flow.seq, flow.attempt)
         flow.deadline = now + self._backoff_timeout(flow.attempt)
         heapq.heappush(self._timers, (flow.deadline, key))
 

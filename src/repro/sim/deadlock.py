@@ -48,8 +48,10 @@ class DeadlockError(RuntimeError):
 
     Carries structured data for programmatic inspection: ``cycle``, the
     ``worms`` snapshot (a list of :class:`StuckWorm` records, possibly
-    truncated — compare against ``total_busy``), and the formatted
-    ``report`` string.
+    truncated — compare against ``total_busy``), the formatted
+    ``report`` string, and — when a tracer was attached — the flight
+    recorder's last events in ``trace_tail`` (oldest first), so the
+    post-mortem shows what the stuck worms last did.
     """
 
     def __init__(
@@ -59,12 +61,27 @@ class DeadlockError(RuntimeError):
         *,
         worms: Optional[List[StuckWorm]] = None,
         total_busy: Optional[int] = None,
+        events: Optional[list] = None,
     ):
         self.cycle = cycle
         self.worms: List[StuckWorm] = list(worms) if worms else []
         self.total_busy = total_busy if total_busy is not None else len(self.worms)
+        #: flight-recorder tail (TraceEvents, oldest first); empty when
+        #: the run had no tracer attached
+        self.trace_tail: list = list(events) if events else []
         if report is None:
             report = format_stuck_worms(self.worms, self.total_busy)
+            if self.trace_tail:
+                stuck_ids = {worm.msg_id for worm in self.worms}
+                recent = [e for e in self.trace_tail if e.msg_id in stuck_ids][-10:]
+                if recent:
+                    report += "\n  last recorded events for stuck worms:"
+                    for event in recent:
+                        report += (
+                            f"\n    cycle {event.cycle}: {event.kind} "
+                            f"msg#{event.msg_id}"
+                            + (f" on {event.channel}" if event.channel else "")
+                        )
         self.report = report
         super().__init__(f"network deadlocked by cycle {cycle}:\n{report}")
 

@@ -116,6 +116,19 @@ class Simulator:
         self.fault_hooks: List[Callable] = []
         #: called with ``now`` at the start of every cycle
         self.cycle_hooks: List[Callable[[int], None]] = []
+        #: optional observability tracer (attached by
+        #: :class:`repro.obs.Tracer`); every emission point in the
+        #: pipeline is guarded by ``tracer is not None``, so a run
+        #: without one pays only the pointer checks
+        self.tracer = None
+
+        #: cycle at which measurement started (None until warmup ends);
+        #: lets instrumentation divide by the measurement window instead
+        #: of the whole run
+        self.measure_start_cycle: Optional[int] = None
+        #: per-channel transfer counts at the warmup boundary, keyed by
+        #: channel identity
+        self._measure_transfer_base: Dict[int, int] = {}
 
         # survivability accounting (cumulative over the whole run, not
         # reset at the warmup boundary: fault events are rare, discrete
@@ -189,7 +202,8 @@ class Simulator:
             self._last_progress = now
         elif self.in_flight > 0 and now - self._last_progress >= self.config.deadlock_threshold:
             worms, total = stuck_worm_snapshot(self.net.channels)
-            raise DeadlockError(now, worms=worms, total_busy=total)
+            tail = self.tracer.recorder.tail() if self.tracer is not None else None
+            raise DeadlockError(now, worms=worms, total_busy=total, events=tail)
         self.now = now + 1
 
     # ------------------------------------------------------------------
@@ -212,6 +226,8 @@ class Simulator:
         self._active_sources.add(src)
         if self.reliability is not None:
             self.reliability.on_generated(message)
+        if self.tracer is not None:
+            self.tracer.on_generate(self.now, message)
         return message
 
     def enqueue_message(
@@ -247,6 +263,8 @@ class Simulator:
         message.attempt = attempt
         self.queues[src].append(message)
         self._active_sources.add(src)
+        if self.tracer is not None:
+            self.tracer.on_generate(self.now, message)
         return message
 
     # ------------------------------------------------------------------
@@ -287,11 +305,17 @@ class Simulator:
         self._active_sources.add(request.dst)
         if self.reliability is not None:
             self.reliability.on_generated(reply)
+        if self.tracer is not None:
+            self.tracer.on_generate(self.now, reply)
         if self.stats.measuring:
             self.stats.generated += 1
 
     def _start_measurement(self) -> None:
         self.stats.start_measurement(self.config.batches)
+        self.measure_start_cycle = self.now
+        self._measure_transfer_base = {
+            id(channel): channel.transfers for channel in self.net.channels
+        }
 
     # ------------------------------------------------------------------
     # statistics compatibility surface (campaigns, tools and tests read
@@ -441,6 +465,7 @@ class Simulator:
                 self.step()
             knowledge = self.reconfig.knowledge_lag if self.reconfig is not None else None
             worms, total = stuck_worm_snapshot(self.net.channels, knowledge=knowledge)
-            raise DeadlockError(self.now, worms=worms, total_busy=total)
+            tail = self.tracer.recorder.tail() if self.tracer is not None else None
+            raise DeadlockError(self.now, worms=worms, total_busy=total, events=tail)
         finally:
             self.config.rate = saved_rate

@@ -81,6 +81,9 @@ class ReconfigurationReport:
     #: ids of worms truncated *during* the transition window because a
     #: node with stale knowledge steered them into a dead component
     window_lost_ids: List[int] = field(default_factory=list)
+    #: flight-recorder events for the worms this event lost (TraceEvents,
+    #: oldest first); populated only when a tracer is attached
+    trace_tail: List = field(default_factory=list)
 
 
 def apply_runtime_fault(
@@ -192,6 +195,7 @@ def _apply_instant(simulator, scenario, info, routing) -> ReconfigurationReport:
         detection_latency=0,
         completed_cycle=simulator.now,
     )
+    _record_trace_tail(simulator, report, lost_ids)
 
     # ------------------------------------------------------------------
     # report the damage to the survivability accounting and any recovery
@@ -280,6 +284,7 @@ class TransitionWindow:
         report.dropped_in_flight += 1
         report.lost_message_ids.append(message.msg_id)
         report.window_lost_ids.append(message.msg_id)
+        _record_trace_tail(sim, report, [message.msg_id])
         if sim.reliability is not None:
             sim.reliability.on_window_loss(message)
 
@@ -329,6 +334,7 @@ class TransitionWindow:
         report.dropped_in_flight += len(victims)
         report.dropped_queued += len(dropped_messages)
         report.lost_message_ids.extend(lost_ids)
+        _record_trace_tail(sim, report, lost_ids)
         for open_report in self.reports:
             open_report.completed_cycle = now
 
@@ -439,6 +445,7 @@ def _stage_event(
         detection_latency=latency,
         completed_cycle=None,
     )
+    _record_trace_tail(simulator, report, lost_ids)
     window.reports.append(report)
 
     simulator.fault_events += 1
@@ -552,6 +559,16 @@ def _strict_check(simulator) -> None:
     assert_deadlock_free(simulator.net, include_sharing=False)
 
 
+def _record_trace_tail(simulator, report: ReconfigurationReport, msg_ids) -> None:
+    """Attach the flight recorder's recent history for the lost worms to
+    the report (no-op without a tracer)."""
+    if simulator.tracer is None or not msg_ids:
+        return
+    report.trace_tail.extend(
+        simulator.tracer.recorder.tail_for(msg_ids, limit=10 * len(msg_ids))
+    )
+
+
 def _kill_worm(simulator, message: Message) -> None:
     """Truncate and discard a worm: free every virtual channel it holds,
     remove any waiting-header entries, and fix the accounting.
@@ -560,6 +577,8 @@ def _kill_worm(simulator, message: Message) -> None:
     if message.killed:
         return
     message.killed = True
+    if simulator.tracer is not None:
+        simulator.tracer.on_truncate(simulator.now, message)
     net = simulator.net
     for channel in net.channels:
         for vc in list(channel.busy):

@@ -98,6 +98,8 @@ class GenerationStage:
         sim._active_sources.add(coord)
         if sim.reliability is not None:
             sim.reliability.on_generated(message)
+        if sim.tracer is not None:
+            sim.tracer.on_generate(now, message)
         if sim.stats.measuring:
             sim.stats.generated += 1
 
@@ -123,6 +125,7 @@ class InjectionStage:
         limit = sim.config.injection_limit
         activate = self.transfer.activate
         stats = sim.stats
+        tracer = sim.tracer
         done: List = []
         for coord in sources:
             queue = sim.queues[coord]
@@ -146,6 +149,8 @@ class InjectionStage:
             message.injected_cycle = now
             sim.outstanding[coord] += 1
             sim.in_flight += 1
+            if tracer is not None:
+                tracer.on_inject(now, message, channel, vc)
             if stats.measuring:
                 stats.injected += 1
             if not queue:
@@ -183,6 +188,7 @@ class AllocationStage:
         nodes = sim.net.nodes
         activate = self.transfer.activate
         reconfig = sim.reconfig
+        tracer = sim.tracer
         progress = False
         finished: List[Module] = []
         for module in waiting_set:
@@ -198,6 +204,7 @@ class AllocationStage:
                 if not eligible or eligible[0] > now:
                     continue
                 resolution = vc.cached_resolution
+                fresh = resolution is None
                 if resolution is None:
                     node = nodes[module.node_coord]
                     if reconfig is not None:
@@ -218,6 +225,10 @@ class AllocationStage:
                     vc.cached_resolution = resolution
                 downstream = resolution.channel.free_vc(resolution.classes)
                 if downstream is None:
+                    if fresh and tracer is not None:
+                        # only the header's first failed attempt at this
+                        # node: later retries find the cached resolution
+                        tracer.on_blocked(now, vc.message, module, resolution.channel)
                     continue
                 if resolution.commit_decision is not None:
                     routing.commit_hop(
@@ -227,6 +238,10 @@ class AllocationStage:
                 downstream.upstream = vc
                 resolution.channel.busy.append(downstream)
                 activate(resolution.channel)
+                if tracer is not None:
+                    tracer.on_vc_alloc(
+                        now, vc.message, module, resolution.channel, downstream
+                    )
                 vc.waiting_route = False
                 vc.cached_resolution = None
                 waiting.remove(vc)
@@ -304,6 +319,7 @@ class TransferStage:
         on_consumed = sim._on_consumed
         outstanding = sim.outstanding
         active_sources = sim._active_sources
+        tracer = sim.tracer
         write = 0
         for channel in channels:
             busy = channel.busy
@@ -363,14 +379,14 @@ class TransferStage:
                             module.waiting.append(vc)
                             vc.waiting_route = True
                             waiting_set[module] = None
-                    if (
-                        not message.exited_source
-                        and kind is internode
-                        and vc.received == message.length
-                    ):
-                        message.exited_source = True
-                        outstanding[message.src] -= 1
-                        active_sources.add(message.src)
+                    if vc.received == message.length:
+                        # the tail finished crossing this channel (hop done)
+                        if not message.exited_source and kind is internode:
+                            message.exited_source = True
+                            outstanding[message.src] -= 1
+                            active_sources.add(message.src)
+                        if tracer is not None:
+                            tracer.on_transfer(now, message, channel, vc)
                 if from_vc and upstream.sent == message.length:
                     upstream.channel.release(upstream)
                 channel.transfers += 1

@@ -173,6 +173,42 @@ class TestRandomizedParity:
         assert_results_identical(legacy, active)
 
 
+class TestTracerNeutrality:
+    """The observability contract: attaching a tracer never changes
+    simulation results (it observes, draws no randomness, and mutates no
+    state), and both cores emit the identical event stream."""
+
+    TRACED_CONFIGS = ["int-f5", "mesh-f5", "saturated", "reqrep"]
+
+    @staticmethod
+    def run_traced(core, kwargs):
+        from repro.obs import TraceConfig, Tracer
+
+        config = SimulationConfig(**kwargs)
+        sim = Simulator(config, core=core)
+        tracer = Tracer(sim, TraceConfig(window=100))
+        result = sim.run()
+        return tracer, result
+
+    @pytest.mark.parametrize("name", TRACED_CONFIGS)
+    @pytest.mark.parametrize("core", ["legacy", "active"])
+    def test_traced_run_is_bit_identical_to_untraced(self, name, core):
+        _, untraced = run_core(core, GOLDEN_CONFIGS[name])
+        _, traced = self.run_traced(core, GOLDEN_CONFIGS[name])
+        assert_results_identical(untraced, traced)
+
+    @pytest.mark.parametrize("name", TRACED_CONFIGS)
+    def test_cores_emit_identical_event_streams(self, name):
+        legacy_tracer, legacy = self.run_traced("legacy", GOLDEN_CONFIGS[name])
+        active_tracer, active = self.run_traced("active", GOLDEN_CONFIGS[name])
+        assert_results_identical(legacy, active)
+        assert len(legacy_tracer.events) == len(active_tracer.events)
+        assert legacy_tracer.events == active_tracer.events
+        legacy_series = [s.to_dict() for s in legacy_tracer.series.samples]
+        active_series = [s.to_dict() for s in active_tracer.series.samples]
+        assert legacy_series == active_series
+
+
 class TestBatchNormalization:
     """Regression for the uneven-batch throughput bias: 1005 cycles in 10
     batches gives the last batch 105 cycles; its throughput must be

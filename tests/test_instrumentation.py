@@ -47,6 +47,40 @@ class TestChannelUtilization:
         load = ChannelLoad.of([])
         assert load.count == 0 and load.mean_utilization == 0.0
 
+    def test_warmup_traffic_excluded_from_utilization(self):
+        """Regression: utilization must be computed over the measurement
+        window, not the whole run — a run whose traffic all happened
+        during warmup has zero measured utilization."""
+        config = SimulationConfig(
+            topology="torus", radix=6, dims=2, rate=0.0,
+            warmup_cycles=300, measure_cycles=400,
+        )
+        sim = Simulator(config)
+
+        def seed(now):
+            if now == 5:
+                sim.inject_message((0, 0), (3, 3))
+
+        sim.cycle_hooks.append(seed)
+        sim.run()
+        assert sum(ch.transfers for ch in sim.net.channels) > 0
+        utilization = channel_utilizations(sim)
+        assert all(value == 0.0 for value in utilization.values())
+        report = hotspot_report(sim)
+        assert report["other"].mean_utilization == 0.0
+
+    def test_manual_stepping_falls_back_to_whole_run(self):
+        config = SimulationConfig(
+            topology="torus", radix=6, dims=2, rate=0.0,
+            warmup_cycles=0, measure_cycles=10,
+        )
+        sim = Simulator(config)
+        sim.inject_message((0, 0), (3, 0))
+        for _ in range(100):
+            sim.step()
+        assert sim.measure_start_cycle is None
+        assert sum(channel_utilizations(sim).values()) > 0
+
 
 class TestHeatmap:
     def test_renders_grid(self, faulty_run):
