@@ -31,9 +31,13 @@ import json
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from pathlib import Path
+
+from .exec.checkpoint import SweepCheckpoint
 from .exec.executor import (
     CampaignReplay,
     CampaignTask,
+    ExecPolicy,
     ExecutionStats,
     PointTask,
     ProgressEvent,
@@ -103,6 +107,26 @@ class ResultSet(Sequence[SimulationResult]):
 
     def rows(self) -> str:
         return "\n".join(r.row() for r in self.results)
+
+    def summary(self) -> dict:
+        """Sweep-level accounting, including the infrastructure-fault
+        counters.  Result-neutral by construction: retries and worker
+        replacements change these numbers, never any entry of
+        :attr:`results`."""
+        stats = self.stats
+        return {
+            "points": len(self.results),
+            "cache_hits": stats.cache_hits,
+            "executed": stats.executed,
+            "failed": stats.failed,
+            "wall_seconds": stats.wall_seconds,
+            "infra_retries": stats.infra_retries,
+            "infra_timeouts": stats.infra_timeouts,
+            "infra_crashes": stats.infra_crashes,
+            "infra_hung": stats.infra_hung,
+            "quarantined": stats.quarantined,
+            "replayed_failures": stats.replayed_failures,
+        }
 
 
 @dataclass(frozen=True)
@@ -215,6 +239,8 @@ class Experiment:
         store: Optional[ResultStore] = None,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
         allow_failures: bool = False,
+        policy: Optional[ExecPolicy] = None,
+        resume: Union[str, Path, SweepCheckpoint, None] = None,
     ) -> ResultSet:
         """Execute every task and return a :class:`ResultSet`.
 
@@ -224,6 +250,19 @@ class Experiment:
         disables memoization, or pass a :class:`ResultStore` directly
         (``store=`` is an alias that wins when given).  Campaign tasks
         always execute; only plain points are memoized.
+
+        ``policy`` — fault-tolerance knobs for the worker pool (see
+        :class:`~repro.exec.ExecPolicy`: per-task timeouts, bounded
+        deterministic retry, heartbeat watchdog, quarantine).
+
+        ``resume`` — a checkpoint *root directory* (or an explicit
+        :class:`~repro.exec.SweepCheckpoint`): every terminal task is
+        marked durably as it completes, and re-running the same
+        experiment with the same ``resume`` serves finished work from
+        the store and replays recorded failures, restarting an
+        interrupted run exactly where it stopped.  Requires the store
+        (``cache=False`` with ``resume`` is an error — completed marks
+        would not be servable).
         """
         if store is None:
             if isinstance(cache, ResultStore):
@@ -233,13 +272,37 @@ class Experiment:
         tasks = self.tasks
         if self.trace is not None:
             tasks = tuple(replace(task, trace=self.trace) for task in tasks)
+        checkpoint: Optional[SweepCheckpoint] = None
+        if resume is not None:
+            if isinstance(resume, SweepCheckpoint):
+                checkpoint = resume
+            else:
+                if store is None:
+                    raise ValueError(
+                        "resume= needs the result store (cache=False would "
+                        "leave checkpointed results unservable)"
+                    )
+                checkpoint = SweepCheckpoint.for_tasks(
+                    resume, tasks, version=store.version, label=self.label
+                )
         payloads, stats = execute(
             tasks,
             jobs=jobs,
             store=store,
             progress=progress,
             allow_failures=allow_failures,
+            policy=policy,
+            checkpoint=checkpoint,
         )
+        if self.trace is not None and stats.infra_events:
+            from .obs.export import write_exec_jsonl
+
+            stem = "".join(
+                ch if ch.isalnum() or ch in "-_" else "-" for ch in self.label
+            ) or "experiment"
+            out = Path(self.trace.out_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            write_exec_jsonl(stats.infra_events, out / f"{stem}.exec.jsonl")
         results: List[SimulationResult] = []
         outcomes: List[Any] = []
         descriptions: List[str] = []

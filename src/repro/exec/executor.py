@@ -1,4 +1,4 @@
-"""Parallel sweep execution over a ``multiprocessing`` worker pool.
+"""Parallel sweep execution over a supervised ``multiprocessing`` pool.
 
 The workloads behind every figure are embarrassingly parallel: each
 sweep point, seed replicate, or campaign replay is an independent
@@ -15,25 +15,52 @@ in task order, with
 * **deterministic per-task seeding** — the executor adds no randomness;
   every task's outcome is fixed by its config (``seed`` /
   ``fault_seed``), so ``jobs=1`` and ``jobs=N`` are bit-for-bit
-  identical;
+  identical — and so are retried attempts, which is what makes the
+  fault tolerance below *neutral*: infrastructure failures change
+  counters, never results;
 * **memoization** — with a :class:`~repro.exec.store.ResultStore`
   attached, cached points are served without touching the pool and
-  fresh results are persisted for the next run;
-* **graceful failure handling** — a :class:`~repro.sim.DeadlockError`
-  in a worker is re-raised in the parent as a ``DeadlockError`` (it is
-  a meaningful simulation outcome, not an infrastructure error), other
-  exceptions surface as an :class:`ExecutionError` carrying per-task
-  tracebacks, and a broken pool (a worker killed by the OS) falls back
-  to in-process execution of the unfinished tasks.
+  fresh results are persisted *as they complete* (not at the end), so a
+  killed parent loses at most the in-flight points;
+* **checkpointing** — with a
+  :class:`~repro.exec.checkpoint.SweepCheckpoint` attached, every
+  terminal task (success or failure) is marked durably, and a resumed
+  run serves completed work from the store and replays recorded
+  failures without re-running them.
+
+**Failure model.**  The paper's detect/contain/reconfigure discipline,
+applied to our own fleet layer:
+
+* a *simulation* failure (:class:`~repro.sim.DeadlockError`, or any
+  exception from ``task.execute()``) is a deterministic property of the
+  task — it is recorded as a structured :class:`TaskFailure` and never
+  retried;
+* an *infrastructure* failure is not the task's fault until proven
+  otherwise.  A worker that dies (OOM kill, segfault — kind
+  ``"crash"``), exceeds the policy's per-task wall-clock budget
+  (``"timeout"``), or stops heartbeating (``"hung"``) is killed and
+  replaced, and its task is retried on a deterministic exponential
+  backoff schedule (no jitter — reproducible runs).  A task that kills
+  its worker :attr:`ExecPolicy.max_attempts` times is *poison*: it
+  falls back to one in-process attempt (crashes only, and only when
+  :attr:`ExecPolicy.in_process_fallback` is set) or is quarantined as a
+  structured :class:`TaskFailure` instead of sinking the sweep.
+
+The heartbeat distinguishes a *stalled process* (blocked in a syscall or
+native code, unable to beat) from a merely slow one; a pure-Python busy
+loop keeps beating and is caught by the wall-clock timeout instead.
 """
 
 from __future__ import annotations
 
+import heapq
+import multiprocessing
 import os
+import queue as queue_mod
+import threading
+import time
 import traceback
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -43,7 +70,8 @@ from ..sim.deadlock import DeadlockError
 from ..sim.engine import Simulator
 from ..sim.metrics import SimulationResult
 from ..sim.network import SimNetwork
-from .store import ResultStore
+from .checkpoint import SweepCheckpoint, task_key
+from .store import CODE_VERSION, ResultStore
 
 # ----------------------------------------------------------------------
 # tasks
@@ -63,6 +91,10 @@ class PointTask:
     trace: Optional[Any] = None  #: :class:`repro.obs.TraceConfig`
     cacheable = True
 
+    def checkpoint_key(self, version: str = CODE_VERSION) -> str:
+        # identical to the store key, so a checkpointed "ok" is servable
+        return self.config.content_hash(version)
+
     def execute(self) -> SimulationResult:
         sim = Simulator(self.config, _shared_network(self.config))
         tracer = _attach_tracer(sim, self.trace)
@@ -81,6 +113,9 @@ class CampaignTask:
 
     Not cacheable: campaign outcomes carry rich object graphs (epoch
     records, reconfiguration reports) that have no stable on-disk form.
+    A checkpointed "ok" mark therefore cannot be *served* for a campaign
+    — the replay re-executes (deterministically) on resume; only
+    recorded failures are replayed without re-running.
     """
 
     config: SimulationConfig
@@ -90,6 +125,23 @@ class CampaignTask:
     drain: bool = True
     trace: Optional[Any] = None  #: :class:`repro.obs.TraceConfig`
     cacheable = False
+
+    def checkpoint_key(self, version: str = CODE_VERSION) -> str:
+        import hashlib
+        import json
+        from dataclasses import asdict
+
+        payload = {
+            "kind": "campaign",
+            "config": self.config.to_canonical(),
+            "campaign": self.campaign.to_canonical(),
+            "reliability": asdict(self.reliability) if self.reliability is not None else None,
+            "settle_cycles": self.settle_cycles,
+            "drain": self.drain,
+            "version": version,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def execute(self) -> "CampaignReplay":
         from ..reliability.campaign import replay_campaign
@@ -173,15 +225,21 @@ def _shared_network(config: SimulationConfig) -> SimNetwork:
 # failure bookkeeping
 # ----------------------------------------------------------------------
 
+#: Failure kinds that are the *infrastructure's* fault (retried), as
+#: opposed to the deterministic simulation-failure kinds "error" and
+#: "deadlock" (never retried).
+INFRA_KINDS = ("crash", "timeout", "hung")
+
 
 @dataclass(frozen=True)
 class TaskFailure:
     """One task that did not produce a result."""
 
     index: int
-    kind: str  #: "deadlock" or "error"
+    kind: str  #: "deadlock", "error", or an infra kind: "crash"/"timeout"/"hung"
     message: str
     cycle: Optional[int] = None  #: deadlock cycle, when kind == "deadlock"
+    attempts: int = 1  #: how many execution attempts the task consumed
 
 
 class ExecutionError(RuntimeError):
@@ -196,6 +254,42 @@ class ExecutionError(RuntimeError):
         super().__init__("\n".join(lines))
 
 
+@dataclass(frozen=True)
+class ExecPolicy:
+    """Fault-tolerance knobs for one :func:`execute` call.
+
+    The backoff schedule is deterministic (no jitter): attempt ``n``
+    waits ``min(cap, base * factor**(n-1))`` seconds before re-dispatch,
+    so a retried run is as reproducible as an unretried one.
+    """
+
+    #: Per-task wall-clock budget in seconds; None disables timeouts.
+    task_timeout: Optional[float] = None
+    #: Total execution attempts before a task is declared poison.
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    #: How often workers post heartbeats; <= 0 disables posting.
+    heartbeat_interval: float = 0.2
+    #: A busy worker silent for this long is declared hung; <= 0
+    #: disables the watchdog.
+    heartbeat_grace: float = 30.0
+    #: After ``max_attempts`` worker crashes, try the task once in the
+    #: parent process instead of quarantining it outright.
+    in_process_fallback: bool = True
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before re-dispatching attempt ``attempt + 1``."""
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+
+
+DEFAULT_POLICY = ExecPolicy()
+
+
 @dataclass
 class ExecutionStats:
     """Accounting for one :func:`execute` call."""
@@ -208,6 +302,16 @@ class ExecutionStats:
     pool_broken: bool = False
     wall_seconds: float = 0.0
     failures: List[TaskFailure] = field(default_factory=list)
+    # -- infrastructure-fault accounting (result-neutral: these count
+    # retries and replacements, never changes to any task's payload) --
+    infra_retries: int = 0  #: re-dispatches after an infra failure
+    infra_timeouts: int = 0  #: workers killed for exceeding task_timeout
+    infra_crashes: int = 0  #: workers that died underneath a task
+    infra_hung: int = 0  #: workers killed by the heartbeat watchdog
+    quarantined: int = 0  #: poison tasks recorded as TaskFailure
+    replayed_failures: int = 0  #: failures served from a checkpoint
+    #: :class:`repro.obs.ExecEvent` records for every infra incident.
+    infra_events: List[Any] = field(default_factory=list)
 
     @property
     def cache_misses(self) -> int:
@@ -217,12 +321,23 @@ class ExecutionStats:
     def hit_ratio(self) -> float:
         return self.cache_hits / self.total if self.total else 0.0
 
+    @property
+    def infra_failures(self) -> int:
+        return self.infra_crashes + self.infra_timeouts + self.infra_hung
+
     def describe(self) -> str:
-        return (
+        base = (
             f"{self.total} task(s): {self.cache_hits} cached, "
             f"{self.executed} executed (jobs={self.jobs}, "
             f"{self.wall_seconds:.1f}s)"
         )
+        if self.infra_failures or self.quarantined:
+            base += (
+                f"; infra: {self.infra_retries} retries "
+                f"({self.infra_crashes} crashes, {self.infra_timeouts} timeouts, "
+                f"{self.infra_hung} hung), {self.quarantined} quarantined"
+            )
+        return base
 
 
 @dataclass(frozen=True)
@@ -234,6 +349,7 @@ class ProgressEvent:
     total: int
     cached: bool
     payload: Any  #: the task's result, or None if it failed
+    attempt: int = 1  #: execution attempts this task consumed (1 = no retries)
 
 
 # ----------------------------------------------------------------------
@@ -261,6 +377,277 @@ def _run_task(task) -> Tuple[str, Any]:
         return "error", traceback.format_exc()
 
 
+def _task_label(task, index: int) -> str:
+    name = type(task).__name__
+    config = getattr(task, "config", None)
+    if config is not None:
+        try:
+            return f"task {index} ({name} {config.content_hash()[:12]})"
+        except Exception:
+            pass
+    return f"task {index} ({name})"
+
+
+# ----------------------------------------------------------------------
+# the supervised worker pool
+# ----------------------------------------------------------------------
+
+
+def _worker_main(worker_id, task_queue, result_queue, heartbeat_interval) -> None:
+    """Worker process body: execute tasks from ``task_queue`` one at a
+    time, posting heartbeats from a daemon thread so the parent can tell
+    a stalled process from a slow one.  If the parent disappears (its
+    pid changes — the parent was SIGKILLed and we were re-parented) the
+    worker exits immediately instead of blocking on the queue forever.
+    """
+    parent = os.getppid()
+    stop = threading.Event()
+
+    def orphaned() -> bool:
+        return os.getppid() != parent
+
+    if heartbeat_interval and heartbeat_interval > 0:
+
+        def beat() -> None:
+            while not stop.wait(heartbeat_interval):
+                if orphaned():
+                    os._exit(2)
+                try:
+                    result_queue.put(("hb", worker_id, None, None, None))
+                except Exception:
+                    os._exit(2)
+
+        threading.Thread(target=beat, daemon=True).start()
+
+    while True:
+        try:
+            item = task_queue.get(timeout=1.0)
+        except queue_mod.Empty:
+            if orphaned():
+                os._exit(2)
+            continue
+        except (EOFError, OSError):
+            os._exit(2)
+        if item is None:  # shutdown sentinel
+            stop.set()
+            return
+        index, attempt, task = item
+        outcome = _run_task(task)
+        try:
+            result_queue.put(("done", worker_id, index, attempt, outcome))
+        except Exception:
+            os._exit(2)
+
+
+class _WorkerHandle:
+    __slots__ = ("process", "queue", "busy", "last_beat")
+
+    def __init__(self, process, task_queue):
+        self.process = process
+        self.queue = task_queue
+        self.busy: Optional[Tuple[int, int, float]] = None  # (index, attempt, t0)
+        self.last_beat = time.monotonic()
+
+
+def _stop_worker(handle: _WorkerHandle) -> None:
+    if handle.process.is_alive():
+        handle.process.kill()
+    handle.process.join(timeout=1.0)
+    try:
+        handle.queue.close()
+    except Exception:
+        pass
+
+
+def _run_supervised(
+    tasks: Sequence[Any],
+    pending: Sequence[int],
+    jobs: int,
+    policy: ExecPolicy,
+    stats: ExecutionStats,
+    deliver: Callable[[int, int, Tuple[str, Any]], None],
+    record_event: Callable[..., None],
+) -> None:
+    """Run ``pending`` task indices on a supervised pool of ``jobs``
+    workers, delivering each outcome (to the store, checkpoint and
+    progress callback) the moment it arrives.
+
+    Unlike ``concurrent.futures``, every worker has its own task queue,
+    so the parent always knows exactly which (task, attempt) a dead,
+    hung or overdue worker was running — failures are attributable, and
+    only the victim task pays for them.
+    """
+    ctx = multiprocessing.get_context()
+    result_queue = ctx.Queue()
+    workers: Dict[int, _WorkerHandle] = {}
+    next_wid = 0
+    seq = 0  # heap tiebreak
+
+    outstanding = set(pending)
+    current_attempt = {index: 1 for index in pending}
+    ready: List[Tuple[float, int, int, int]] = []  # (ready_time, seq, index, attempt)
+    for index in pending:
+        ready.append((0.0, seq, index, 1))
+        seq += 1
+    heapq.heapify(ready)
+
+    def spawn() -> None:
+        nonlocal next_wid
+        wid = next_wid
+        next_wid += 1
+        task_queue = ctx.Queue()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(wid, task_queue, result_queue, policy.heartbeat_interval),
+            daemon=True,
+        )
+        process.start()
+        workers[wid] = _WorkerHandle(process, task_queue)
+
+    def pop_ready(now: float) -> Optional[Tuple[int, int]]:
+        while ready:
+            ready_time, _tie, index, attempt = ready[0]
+            if ready_time > now:
+                return None
+            heapq.heappop(ready)
+            # skip entries made stale by a delivered result or a newer attempt
+            if index in outstanding and current_attempt.get(index) == attempt:
+                return index, attempt
+        return None
+
+    def fail_busy(wid: int, kind: str, detail: str) -> None:
+        nonlocal seq
+        handle = workers.pop(wid)
+        index, attempt, _t0 = handle.busy  # type: ignore[misc]
+        _stop_worker(handle)
+        stats.pool_broken = True
+        counter = {
+            "crash": "infra_crashes",
+            "timeout": "infra_timeouts",
+            "hung": "infra_hung",
+        }[kind]
+        setattr(stats, counter, getattr(stats, counter) + 1)
+        record_event(f"task_{kind}", index, attempt, detail)
+        if index not in outstanding:
+            return  # a stale attempt died; the task already delivered
+        label = _task_label(tasks[index], index)
+        if attempt < policy.max_attempts:
+            stats.infra_retries += 1
+            delay = policy.backoff(attempt)
+            record_event(
+                "task_retry",
+                index,
+                attempt + 1,
+                f"retrying after {kind} (backoff {delay:.3f}s)",
+            )
+            current_attempt[index] = attempt + 1
+            heapq.heappush(ready, (time.monotonic() + delay, seq, index, attempt + 1))
+            seq += 1
+        elif kind == "crash" and policy.in_process_fallback:
+            warnings.warn(
+                f"worker pool broke on {label} after {attempt} attempt(s); "
+                "running it in-process",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            outstanding.discard(index)
+            deliver(index, attempt, _run_task(tasks[index]))
+        else:
+            stats.quarantined += 1
+            record_event("task_quarantine", index, attempt, detail)
+            message = (
+                f"{label} quarantined: {kind} on all {attempt} attempt(s) "
+                f"({detail})"
+            )
+            outstanding.discard(index)
+            deliver(index, attempt, (kind, message))
+
+    for _ in range(min(jobs, len(outstanding))):
+        spawn()
+
+    try:
+        while outstanding:
+            now = time.monotonic()
+            # --- dispatch ready work to idle workers -------------------
+            for handle in workers.values():
+                if handle.busy is not None:
+                    continue
+                item = pop_ready(now)
+                if item is None:
+                    break
+                index, attempt = item
+                handle.queue.put((index, attempt, tasks[index]))
+                handle.busy = (index, attempt, now)
+                handle.last_beat = now
+            # --- drain results and heartbeats --------------------------
+            message = None
+            try:
+                message = result_queue.get(timeout=0.05)
+            except (queue_mod.Empty, EOFError, OSError):
+                pass
+            while message is not None:
+                if message[0] == "hb":
+                    wid = message[1]
+                    if wid in workers:
+                        workers[wid].last_beat = time.monotonic()
+                elif message[0] == "done":
+                    _, wid, index, attempt, outcome = message
+                    if wid in workers:
+                        workers[wid].busy = None
+                        workers[wid].last_beat = time.monotonic()
+                    if index in outstanding:
+                        outstanding.discard(index)
+                        deliver(index, attempt, outcome)
+                try:
+                    message = result_queue.get_nowait()
+                except (queue_mod.Empty, EOFError, OSError):
+                    message = None
+            # --- supervise ---------------------------------------------
+            now = time.monotonic()
+            for wid in list(workers):
+                handle = workers[wid]
+                if handle.busy is None:
+                    if not handle.process.is_alive():
+                        # an idle worker died; replace it quietly
+                        _stop_worker(workers.pop(wid))
+                    continue
+                _index, _attempt, t0 = handle.busy
+                if not handle.process.is_alive():
+                    fail_busy(
+                        wid, "crash", f"worker exited with code {handle.process.exitcode}"
+                    )
+                elif policy.task_timeout is not None and now - t0 > policy.task_timeout:
+                    fail_busy(
+                        wid,
+                        "timeout",
+                        f"exceeded the {policy.task_timeout:.1f}s wall-clock budget",
+                    )
+                elif (
+                    policy.heartbeat_grace > 0
+                    and now - handle.last_beat > policy.heartbeat_grace
+                ):
+                    fail_busy(
+                        wid, "hung", f"no heartbeat for {policy.heartbeat_grace:.1f}s"
+                    )
+            while outstanding and len(workers) < min(jobs, len(outstanding)):
+                spawn()
+    finally:
+        for handle in workers.values():
+            try:
+                handle.queue.put(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 1.0
+        for handle in workers.values():
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for handle in workers.values():
+            _stop_worker(handle)
+        try:
+            result_queue.close()
+        except Exception:
+            pass
+
+
 def execute(
     tasks: Sequence[Any],
     *,
@@ -268,13 +655,26 @@ def execute(
     store: Optional[ResultStore] = None,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     allow_failures: bool = False,
+    policy: Optional[ExecPolicy] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> Tuple[List[Any], ExecutionStats]:
     """Run every task and return ``(payloads, stats)`` in task order.
 
     ``store`` memoizes cacheable tasks: hits skip the pool entirely and
-    fresh results are persisted.  ``jobs=1`` runs in-process (keeping the
-    per-process network reuse); ``jobs>1`` uses a worker pool; ``jobs in
-    (None, 0)`` sizes the pool to the CPU count.
+    fresh results are persisted the moment they arrive.  ``jobs=1`` runs
+    in-process (keeping the per-process network reuse); ``jobs>1`` uses
+    a supervised worker pool; ``jobs in (None, 0)`` sizes the pool to
+    the CPU count.
+
+    ``policy`` governs timeouts, retries, heartbeats and quarantine for
+    the worker pool (see :class:`ExecPolicy`; in-process execution
+    cannot crash a worker, so the policy is inert at ``jobs=1``).
+
+    ``checkpoint`` makes the run resumable: every terminal task is
+    marked durably as it completes, previously recorded failures are
+    replayed as :class:`TaskFailure`\\ s without re-running the task, and
+    previously completed work is served from the store (or re-executed
+    deterministically when the store cannot serve it).
 
     With ``allow_failures=True`` failed tasks yield ``None`` payloads and
     are listed in ``stats.failures``; otherwise the first failure in task
@@ -284,11 +684,34 @@ def execute(
     """
     started = perf_counter()
     tasks = list(tasks)
+    policy = policy if policy is not None else DEFAULT_POLICY
     stats = ExecutionStats(total=len(tasks), jobs=resolve_jobs(jobs))
     payloads: List[Any] = [None] * len(tasks)
     completed = 0
 
-    def finish(index: int, payload: Any, cached: bool) -> None:
+    keys: Optional[List[str]] = None
+    records: Dict[str, dict] = {}
+    if checkpoint is not None:
+        version = checkpoint.manifest().get("version") or (
+            store.version if store is not None else CODE_VERSION
+        )
+        keys = [task_key(task, version) for task in tasks]
+        records = checkpoint.completed()
+
+    def record_event(kind: str, index: int, attempt: int, detail: str = "") -> None:
+        from ..obs.events import ExecEvent
+
+        stats.infra_events.append(
+            ExecEvent(
+                kind=kind,
+                task_index=index,
+                attempt=attempt,
+                key=keys[index] if keys is not None else "",
+                detail=detail,
+            )
+        )
+
+    def finish(index: int, payload: Any, cached: bool, attempt: int = 1) -> None:
         nonlocal completed
         completed += 1
         payloads[index] = payload
@@ -300,12 +723,58 @@ def execute(
                     total=len(tasks),
                     cached=cached,
                     payload=payload,
+                    attempt=attempt,
                 )
             )
 
-    # --- serve what the store already has ------------------------------
+    def deliver(index: int, attempt: int, outcome: Tuple[str, Any]) -> None:
+        """Integrate one terminal outcome: persist, mark, report."""
+        status, payload = outcome
+        if status == "ok":
+            stats.executed += 1
+            if store is not None and tasks[index].cacheable:
+                result = payload.result if isinstance(payload, CampaignReplay) else payload
+                store.store(tasks[index].config, result)
+            if checkpoint is not None:
+                checkpoint.mark_ok(keys[index])
+            finish(index, payload, cached=False, attempt=attempt)
+            return
+        if status == "deadlock":
+            cycle, message = payload
+        else:
+            cycle, message = None, payload
+        stats.failed += 1
+        stats.failures.append(
+            TaskFailure(
+                index=index, kind=status, message=message, cycle=cycle, attempts=attempt
+            )
+        )
+        if checkpoint is not None:
+            checkpoint.mark_failed(
+                keys[index], kind=status, message=message, cycle=cycle, attempts=attempt
+            )
+        finish(index, None, cached=False, attempt=attempt)
+
+    # --- serve what the checkpoint and store already have --------------
     pending: List[int] = []
     for index, task in enumerate(tasks):
+        record = records.get(keys[index]) if keys is not None else None
+        if record is not None and record.get("status") == "failed":
+            # a recorded (deterministic or quarantined) failure: replay
+            # it instead of re-running the task on every resume
+            stats.failed += 1
+            stats.replayed_failures += 1
+            stats.failures.append(
+                TaskFailure(
+                    index=index,
+                    kind=str(record.get("kind", "error")),
+                    message=str(record.get("message", "")),
+                    cycle=record.get("cycle"),
+                    attempts=int(record.get("attempts", 1)),
+                )
+            )
+            finish(index, None, cached=True)
+            continue
         hit = None
         # traced tasks always execute: a cache hit would return the same
         # result but skip producing the trace files the caller asked for
@@ -313,61 +782,26 @@ def execute(
             hit = store.load(task.config)
         if hit is not None:
             stats.cache_hits += 1
+            if checkpoint is not None and record is None:
+                checkpoint.mark_ok(keys[index])
             finish(index, hit, cached=True)
         else:
             pending.append(index)
 
     # --- run the misses ------------------------------------------------
-    outcomes: Dict[int, Tuple[str, Any]] = {}
     if pending and stats.jobs > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=stats.jobs) as pool:
-                futures = {pool.submit(_run_task, tasks[i]): i for i in pending}
-                for future in as_completed(futures):
-                    outcomes[futures[future]] = future.result()
-        except BrokenProcessPool:
-            # a worker died hard (OOM kill, segfault); the surviving
-            # results are kept and the remainder runs in-process
-            stats.pool_broken = True
-            unfinished = [i for i in pending if i not in outcomes]
-            warnings.warn(
-                f"worker pool broke; re-running {len(unfinished)} task(s) "
-                "in-process",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            for index in unfinished:
-                outcomes[index] = _run_task(tasks[index])
+        _run_supervised(tasks, pending, stats.jobs, policy, stats, deliver, record_event)
     else:
         for index in pending:
-            outcomes[index] = _run_task(tasks[index])
-
-    # --- integrate, persist, report ------------------------------------
-    for index in pending:
-        status, payload = outcomes[index]
-        if status == "ok":
-            stats.executed += 1
-            if store is not None and tasks[index].cacheable:
-                result = payload.result if isinstance(payload, CampaignReplay) else payload
-                store.store(tasks[index].config, result)
-            finish(index, payload, cached=False)
-        else:
-            stats.failed += 1
-            if status == "deadlock":
-                cycle, message = payload
-            else:
-                cycle, message = None, payload
-            stats.failures.append(
-                TaskFailure(index=index, kind=status, message=message, cycle=cycle)
-            )
-            finish(index, None, cached=False)
+            deliver(index, 1, _run_task(tasks[index]))
 
     stats.wall_seconds = perf_counter() - started
     if stats.failures and not allow_failures:
-        first = stats.failures[0]
+        ordered = sorted(stats.failures, key=lambda f: f.index)
+        first = ordered[0]
         if first.kind == "deadlock":
             raise DeadlockError(first.cycle, first.message)
-        raise ExecutionError(stats.failures)
+        raise ExecutionError(ordered)
     return payloads, stats
 
 
@@ -377,6 +811,8 @@ def run_configs(
     jobs: Optional[int] = 1,
     store: Optional[ResultStore] = None,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    policy: Optional[ExecPolicy] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> Tuple[List[SimulationResult], ExecutionStats]:
     """Convenience wrapper: one :class:`PointTask` per config."""
     return execute(
@@ -384,4 +820,6 @@ def run_configs(
         jobs=jobs,
         store=store,
         progress=progress,
+        policy=policy,
+        checkpoint=checkpoint,
     )

@@ -13,10 +13,18 @@ store keys each result by a *content hash* of the full canonical
   invalidates everything at once.
 
 Entries are one JSON file per result under ``<root>/<hash[:2]>/<hash>.json``
-(two-level fan-out keeps directories small), written atomically via a
-temp file + ``os.replace`` so concurrent writers and readers never see a
-torn entry.  The store is a pure cache: deleting its directory is always
-safe.
+(two-level fan-out keeps directories small).
+
+**Crash safety.**  Every write goes temp file → ``fsync`` →
+``os.replace``, bracketed by *begin*/*commit* records appended (and
+fsynced) to a small write-ahead journal at ``<root>/journal.jsonl``.  A
+reader therefore never sees a torn entry, and after a hard kill
+(SIGKILL, OOM, power loss) the store self-heals: opening it garbage
+collects temp files whose writing process is provably dead (the journal
+records the writer pid) plus any unjournaled temp file older than
+:data:`STALE_TEMP_SECONDS`, and :mod:`repro.exec.fsck` can additionally
+quarantine entries that do not verify.  The store remains a pure cache:
+deleting its directory is always safe.
 """
 
 from __future__ import annotations
@@ -24,8 +32,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from ..sim.config import SimulationConfig
 from ..sim.metrics import SimulationResult
@@ -43,6 +52,16 @@ CODE_VERSION = "sim-v3"
 #: Environment variable overriding the default store location.
 STORE_ENV = "REPRO_RESULT_STORE"
 
+#: Write-ahead journal kept at the store root.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Directory (under the root) where fsck moves entries it cannot trust.
+QUARANTINE_DIR = "quarantine"
+
+#: Age after which a temp file with no live journaled writer is
+#: considered abandoned and removed on open.
+STALE_TEMP_SECONDS = 3600.0
+
 
 def default_store_root() -> Path:
     """``$REPRO_RESULT_STORE`` if set, else ``~/.cache/repro/results``."""
@@ -50,6 +69,21 @@ def default_store_root() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro" / "results"
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (best-effort, POSIX)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
 
 
 class ResultStore:
@@ -62,6 +96,13 @@ class ResultStore:
     version:
         Code-version tag mixed into every key (default
         :data:`CODE_VERSION`).
+    clean_on_open:
+        Garbage-collect stale temp files (and compact the journal) when
+        the store directory already exists — the self-healing pass that
+        makes a hard-killed writer harmless.
+    temp_ttl:
+        Age threshold for removing temp files the journal knows nothing
+        about (default :data:`STALE_TEMP_SECONDS`).
     """
 
     def __init__(
@@ -69,9 +110,16 @@ class ResultStore:
         root: Union[str, Path, None] = None,
         *,
         version: str = CODE_VERSION,
+        clean_on_open: bool = True,
+        temp_ttl: float = STALE_TEMP_SECONDS,
     ):
         self.root = Path(root) if root is not None else default_store_root()
         self.version = version
+        if clean_on_open and self.root.is_dir():
+            try:
+                self.clean_stale(ttl=temp_ttl)
+            except OSError:
+                pass  # a read-only or racing store must still open
 
     # ------------------------------------------------------------------
     def key(self, config: SimulationConfig) -> str:
@@ -96,19 +144,30 @@ class ResultStore:
             return None
 
     def store(self, config: SimulationConfig, result: SimulationResult) -> Path:
-        """Atomically persist one result; returns the entry path."""
+        """Atomically persist one result; returns the entry path.
+
+        The temp file is fsynced before the rename and the write is
+        bracketed by journal records, so a crash at any point leaves
+        either the complete old state or the complete new state — never
+        a torn entry — and the leftover temp file is attributable.
+        """
         path = self.path_for(config)
         path.parent.mkdir(parents=True, exist_ok=True)
+        key = self.key(config)
         entry = {
-            "key": self.key(config),
+            "key": key,
             "version": self.version,
             "config": config.to_canonical(),
             "result": result.to_dict(),
         }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        tmp_name = os.path.relpath(tmp, self.root)
+        self._journal("begin", key, tmp=tmp_name)
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -116,13 +175,123 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        self._journal("commit", key, tmp=tmp_name)
         return path
 
     # ------------------------------------------------------------------
-    def _entries(self) -> Iterator[Path]:
+    # the write-ahead journal
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> Path:
+        return self.root / JOURNAL_NAME
+
+    def _journal(self, op: str, key: str, **extra) -> None:
+        record = {"op": op, "key": key, "pid": os.getpid(), "time": time.time()}
+        record.update(extra)
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def journal_entries(self) -> List[dict]:
+        """Parsed journal records; a torn tail line (the writer died
+        mid-append) is skipped rather than fatal."""
+        try:
+            text = self.journal_path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        records: List[dict] = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def pending_writes(self) -> List[dict]:
+        """*begin* records with no matching *commit* — writes that were
+        in flight when their process stopped journaling."""
+        begins: Dict[str, dict] = {}
+        for record in self.journal_entries():
+            tmp = record.get("tmp")
+            if not isinstance(tmp, str):
+                continue
+            if record.get("op") == "begin":
+                begins[tmp] = record
+            elif record.get("op") == "commit":
+                begins.pop(tmp, None)
+        return list(begins.values())
+
+    # ------------------------------------------------------------------
+    # self-healing
+    # ------------------------------------------------------------------
+    def temp_files(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.tmp"))
+
+    def clean_stale(self, *, ttl: float = STALE_TEMP_SECONDS) -> int:
+        """Garbage-collect temp files left behind by crashed writers;
+        returns how many were removed.
+
+        A temp file is removed when the journal attributes it to a dead
+        pid, or — for temps the journal knows nothing about — when it is
+        older than ``ttl`` seconds.  Temps owned by a journaled *live*
+        pid are never touched.  Once no temp files remain the journal
+        itself is truncated, keeping it small.
+        """
+        removed = 0
+        live_tmps = set()
+        dead_tmps = set()
+        for record in self.pending_writes():
+            tmp = record["tmp"]
+            if pid_alive(int(record.get("pid", -1))):
+                live_tmps.add(tmp)
+            else:
+                dead_tmps.add(tmp)
+        now = time.time()
+        for tmp in self.temp_files():
+            rel = os.path.relpath(tmp, self.root)
+            if rel in live_tmps:
+                continue
+            if rel not in dead_tmps:
+                try:
+                    if now - tmp.stat().st_mtime < ttl:
+                        continue
+                except OSError:
+                    continue
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if not self.temp_files():
+            try:
+                if self.journal_path.is_file() and self.journal_path.stat().st_size:
+                    self.journal_path.write_text("")
+            except OSError:
+                pass
+        return removed
+
+    # ------------------------------------------------------------------
+    def _shards(self) -> Iterator[Path]:
+        """Fan-out directories only — two-hex-char names — so the
+        quarantine directory and the journal are never mistaken for
+        entries."""
         if not self.root.is_dir():
             return
-        yield from self.root.glob("*/*.json")
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir() and len(shard.name) == 2:
+                yield shard
+
+    def _entries(self) -> Iterator[Path]:
+        for shard in self._shards():
+            yield from sorted(shard.glob("*.json"))
 
     def __len__(self) -> int:
         return sum(1 for _ in self._entries())

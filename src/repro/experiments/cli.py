@@ -14,7 +14,9 @@ argparse parents)::
     repro-experiments chaos --seed 3                   # arbitrary patterns, staged detection
     repro-experiments trace --scale quick              # fully-traced faulty run
     repro-experiments fig8 --trace --trace-out traces  # trace any experiment
+    repro-experiments fsck                             # verify the result store
     repro-experiments all --scale paper --out results.txt
+    repro-experiments fig8 --resume ckpt --jobs 4      # checkpointed, resumable
 
 ``--jobs N`` fans sweep points out over N worker processes (0 = one per
 CPU).  Results are memoized in the on-disk store (``--cache-dir``, or
@@ -23,6 +25,12 @@ full simulation configuration, so re-running a figure only simulates
 points whose configuration changed; ``--no-cache`` bypasses the store
 entirely.  A progress line tracks completed points, and each command
 reports its cache-hit accounting on exit.
+
+``--resume DIR`` checkpoints every sweep under DIR: an interrupted
+command re-run with the same flags restarts exactly where it stopped.
+``--task-timeout`` / ``--retries`` tune the worker pool's fault
+tolerance (see ``docs/execution.md``), and the ``fsck`` subcommand
+verifies the result store, quarantining anything torn.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional
 
-from ..exec import ProgressEvent, ResultStore
+from ..exec import ExecPolicy, ProgressEvent, ResultStore
 from ..obs import TraceConfig
 from .campaign import campaign_report, chaos_report
 from .context import RunContext
@@ -53,6 +61,13 @@ def _figure_runner(fn) -> Callable[[RunContext], str]:
     return run
 
 
+def _fsck_report(ctx: RunContext) -> str:
+    from ..exec.fsck import fsck
+
+    store = ctx.store if ctx.store is not None else ResultStore()
+    return fsck(store).describe()
+
+
 _COMMANDS: Dict[str, Callable[[RunContext], str]] = {
     "fig8": _figure_runner(fig8),
     "fig9": _figure_runner(fig9),
@@ -63,6 +78,7 @@ _COMMANDS: Dict[str, Callable[[RunContext], str]] = {
     "campaign": lambda ctx: campaign_report(ctx.scale_name, ctx=ctx),
     "chaos": lambda ctx: chaos_report(ctx.scale_name, ctx=ctx),
     "trace": lambda ctx: trace_report(ctx.scale_name, ctx=ctx),
+    "fsck": _fsck_report,
 }
 
 _DESCRIPTIONS = {
@@ -76,6 +92,8 @@ _DESCRIPTIONS = {
     "chaos": "extension: arbitrary fault patterns through staged detection",
     "trace": "observability: a fully-traced faulty run with exported "
     "event log, time series, and Chrome trace",
+    "fsck": "verify the on-disk result store: quarantine torn entries, "
+    "remove orphaned temp files",
     "all": "every experiment in sequence",
 }
 
@@ -128,6 +146,30 @@ def _exec_parent() -> argparse.ArgumentParser:
         default="",
         help="result store location (default: $REPRO_RESULT_STORE or "
         "~/.cache/repro/results)",
+    )
+    parent.add_argument(
+        "--resume",
+        default="",
+        metavar="DIR",
+        help="checkpoint every sweep under DIR so an interrupted command, "
+        "re-run with the same flags, restarts exactly where it stopped "
+        "(requires the result store)",
+    )
+    parent.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock budget in worker pools; overdue workers "
+        "are killed and the point retried (default: no timeout)",
+    )
+    parent.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execution attempts per point before quarantining it as a "
+        "poison task (default: 3)",
     )
     return parent
 
@@ -188,6 +230,8 @@ class _ProgressPrinter:
 
     def __call__(self, label: str, event: ProgressEvent) -> None:
         cached = f" ({event.cached and 'cached' or 'run'})"
+        if event.attempt > 1:
+            cached = f" (run, {event.attempt} attempts)"
         line = (
             f"[repro] {label or 'sweep'}: point {event.completed}/{event.total}"
             f"{cached}"
@@ -204,9 +248,21 @@ def _make_context(args: argparse.Namespace) -> RunContext:
     store: Optional[ResultStore] = None
     if args.cache:
         store = ResultStore(args.cache_dir or None)
+    elif args.resume:
+        raise SystemExit(
+            "repro-experiments: --resume needs the result store "
+            "(drop --no-cache)"
+        )
     trace: Optional[TraceConfig] = None
     if args.trace or args.experiment == "trace":
         trace = TraceConfig(out_dir=args.trace_out, window=args.trace_window)
+    policy: Optional[ExecPolicy] = None
+    if args.task_timeout is not None or args.retries is not None:
+        defaults = ExecPolicy()
+        policy = ExecPolicy(
+            task_timeout=args.task_timeout,
+            max_attempts=args.retries if args.retries is not None else defaults.max_attempts,
+        )
     return RunContext(
         scale_name=args.scale,
         jobs=args.jobs,
@@ -214,6 +270,8 @@ def _make_context(args: argparse.Namespace) -> RunContext:
         seed=args.seed,
         progress=_ProgressPrinter(),
         trace=trace,
+        checkpoint_root=args.resume or None,
+        policy=policy,
     )
 
 
@@ -238,6 +296,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"(store: {store_note})",
         file=sys.stderr,
     )
+    if totals.infra_failures or totals.infra_retries or totals.quarantined:
+        print(
+            f"[repro] infra: {totals.infra_retries} retries "
+            f"({totals.infra_crashes} crashes, {totals.infra_timeouts} timeouts, "
+            f"{totals.infra_hung} hung), {totals.quarantined} quarantined",
+            file=sys.stderr,
+        )
     report = "\n\n".join(chunks)
     print(report)
     if args.out:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
 from ..api import Experiment, ResultSet
-from ..exec import ExecutionStats, ProgressEvent, ResultStore
+from ..exec import ExecPolicy, ExecutionStats, ProgressEvent, ResultStore
 from .settings import ExperimentScale, get_scale
 
 
@@ -40,6 +40,12 @@ class RunContext:
     #: when set (``--trace``), every experiment this context runs records
     #: and exports traces (a :class:`repro.obs.TraceConfig`)
     trace: Optional[Any] = None
+    #: when set (``--resume DIR``), every experiment this context runs is
+    #: checkpointed under this root and resumes completed work
+    checkpoint_root: Optional[str] = None
+    #: fault-tolerance knobs for the worker pool (``--task-timeout`` /
+    #: ``--retries``); None uses the executor defaults
+    policy: Optional[ExecPolicy] = None
     #: accumulated over every :meth:`run` in this context
     totals: ExecutionStats = field(default_factory=ExecutionStats)
 
@@ -64,6 +70,8 @@ class RunContext:
             cache=False,
             store=self.store,
             progress=callback,
+            policy=self.policy,
+            resume=self.checkpoint_root,
         )
         stats = result.stats
         self.totals.total += stats.total
@@ -74,4 +82,11 @@ class RunContext:
         self.totals.failures.extend(stats.failures)
         self.totals.jobs = stats.jobs
         self.totals.pool_broken = self.totals.pool_broken or stats.pool_broken
+        self.totals.infra_retries += stats.infra_retries
+        self.totals.infra_timeouts += stats.infra_timeouts
+        self.totals.infra_crashes += stats.infra_crashes
+        self.totals.infra_hung += stats.infra_hung
+        self.totals.quarantined += stats.quarantined
+        self.totals.replayed_failures += stats.replayed_failures
+        self.totals.infra_events.extend(stats.infra_events)
         return result

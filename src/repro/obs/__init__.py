@@ -10,6 +10,8 @@ from .events import (
     DELIVER,
     EVENT_KINDS,
     EVENT_SCHEMA,
+    EXEC_EVENT_KINDS,
+    EXEC_EVENT_SCHEMA,
     GENERATE,
     INJECT,
     MISROUTE_ENTER_RING,
@@ -18,18 +20,23 @@ from .events import (
     TRANSFER,
     TRUNCATE,
     VC_ALLOC,
+    ExecEvent,
     TraceEvent,
     validate_event,
+    validate_exec_event,
 )
 from .export import (
     events_to_jsonl,
+    exec_events_to_jsonl,
     export_trace,
+    read_exec_jsonl,
     read_jsonl,
     series_to_csv,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
     write_csv,
+    write_exec_jsonl,
     write_jsonl,
 )
 from .timeseries import TimeSeries, WindowSample
@@ -40,6 +47,8 @@ __all__ = [
     "DELIVER",
     "EVENT_KINDS",
     "EVENT_SCHEMA",
+    "EXEC_EVENT_KINDS",
+    "EXEC_EVENT_SCHEMA",
     "GENERATE",
     "INJECT",
     "MISROUTE_ENTER_RING",
@@ -48,6 +57,7 @@ __all__ = [
     "TRANSFER",
     "TRUNCATE",
     "VC_ALLOC",
+    "ExecEvent",
     "FlightRecorder",
     "TimeSeries",
     "TraceConfig",
@@ -55,13 +65,17 @@ __all__ = [
     "Tracer",
     "WindowSample",
     "events_to_jsonl",
+    "exec_events_to_jsonl",
     "export_trace",
+    "read_exec_jsonl",
     "read_jsonl",
     "series_to_csv",
     "to_chrome_trace",
     "validate_chrome_trace",
     "validate_event",
+    "validate_exec_event",
     "write_chrome_trace",
     "write_csv",
+    "write_exec_jsonl",
     "write_jsonl",
 ]

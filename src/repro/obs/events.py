@@ -156,3 +156,81 @@ def validate_event(data: Dict[str, Any]) -> List[str]:
         if name not in EVENT_SCHEMA:
             errors.append(f"unknown field {name!r}")
     return errors
+
+
+# ----------------------------------------------------------------------
+# infrastructure (executor) events
+# ----------------------------------------------------------------------
+
+#: the task was re-dispatched after an infrastructure failure
+TASK_RETRY = "task_retry"
+#: a worker exceeded the per-task wall-clock budget and was killed
+TASK_TIMEOUT = "task_timeout"
+#: a worker process died underneath its task (OOM kill, segfault)
+TASK_CRASH = "task_crash"
+#: a busy worker stopped heartbeating and was killed by the watchdog
+TASK_HUNG = "task_hung"
+#: a poison task exhausted its attempts and became a TaskFailure
+TASK_QUARANTINE = "task_quarantine"
+
+EXEC_EVENT_KINDS = frozenset(
+    {TASK_RETRY, TASK_TIMEOUT, TASK_CRASH, TASK_HUNG, TASK_QUARANTINE}
+)
+
+
+@dataclass(frozen=True)
+class ExecEvent:
+    """One executor-infrastructure incident (retry, timeout, crash,
+    hang, quarantine) — distinct from message-lifecycle
+    :class:`TraceEvent`\\ s, which describe the *simulated* network.
+
+    Deliberately carries no wall-clock timestamp: two runs of the same
+    sweep that suffer the same incidents produce identical event
+    streams, matching the executor's determinism guarantee.  ``key`` is
+    the task's checkpoint key when the run was checkpointed.
+    """
+
+    kind: str
+    task_index: int
+    attempt: int
+    key: str = ""
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExecEvent":
+        return cls(**data)
+
+
+EXEC_EVENT_SCHEMA: Dict[str, Dict[str, Any]] = {
+    "kind": {"required": True, "type": "str", "enum": sorted(EXEC_EVENT_KINDS)},
+    "task_index": {"required": True, "type": "int", "min": 0},
+    "attempt": {"required": True, "type": "int", "min": 1},
+    "key": {"required": False, "type": "str"},
+    "detail": {"required": False, "type": "str"},
+}
+
+_EXEC_EVENT_FIELDS = {spec.name for spec in fields(ExecEvent)}
+assert set(EXEC_EVENT_SCHEMA) == _EXEC_EVENT_FIELDS, "schema drifted from ExecEvent"
+
+
+def validate_exec_event(data: Dict[str, Any]) -> List[str]:
+    """Validate one exec-event dict against :data:`EXEC_EVENT_SCHEMA`;
+    returns a list of problems (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(data, dict):
+        return [f"event is not an object: {type(data).__name__}"]
+    for name, spec in EXEC_EVENT_SCHEMA.items():
+        if name not in data or data[name] is None:
+            if spec["required"]:
+                errors.append(f"missing required field {name!r}")
+            continue
+        problem = _check_type(data[name], spec)
+        if problem is not None:
+            errors.append(f"field {name!r}: {problem}")
+    for name in data:
+        if name not in EXEC_EVENT_SCHEMA:
+            errors.append(f"unknown field {name!r}")
+    return errors

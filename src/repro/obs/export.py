@@ -25,7 +25,15 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional
 
-from .events import EVENT_KINDS, TERMINAL_KINDS, INJECT, TraceEvent, validate_event
+from .events import (
+    EVENT_KINDS,
+    TERMINAL_KINDS,
+    INJECT,
+    ExecEvent,
+    TraceEvent,
+    validate_event,
+    validate_exec_event,
+)
 from .timeseries import TimeSeries
 from .tracer import Tracer
 
@@ -55,6 +63,37 @@ def read_jsonl(path) -> List[TraceEvent]:
         if problems:
             raise ValueError(f"{path}:{lineno}: {'; '.join(problems)}")
         events.append(TraceEvent.from_dict(data))
+    return events
+
+
+# ----------------------------------------------------------------------
+# JSONL executor-infrastructure events
+# ----------------------------------------------------------------------
+
+
+def exec_events_to_jsonl(events: Iterable[ExecEvent]) -> str:
+    return "".join(json.dumps(e.to_dict(), sort_keys=True) + "\n" for e in events)
+
+
+def write_exec_jsonl(events: Iterable[ExecEvent], path) -> Path:
+    """Write executor infra events (retry/timeout/crash/hung/quarantine)
+    as ``<stem>.exec.jsonl`` — the suffix the validator routes on."""
+    path = Path(path)
+    path.write_text(exec_events_to_jsonl(events))
+    return path
+
+
+def read_exec_jsonl(path) -> List[ExecEvent]:
+    """Parse an exec-event export back (validating each line)."""
+    events: List[ExecEvent] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        data = json.loads(line)
+        problems = validate_exec_event(data)
+        if problems:
+            raise ValueError(f"{path}:{lineno}: {'; '.join(problems)}")
+        events.append(ExecEvent.from_dict(data))
     return events
 
 

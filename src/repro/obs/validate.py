@@ -5,8 +5,10 @@ CI smoke usage::
     python -m repro.obs.validate traces/*.events.jsonl traces/*.trace.json
 
 ``*.jsonl`` files are checked line-by-line with
-:func:`repro.obs.events.validate_event`; ``*.json`` files are parsed as
-Chrome trace payloads and checked with
+:func:`repro.obs.events.validate_event` (``*.exec.jsonl`` files — the
+executor's infrastructure events — with
+:func:`repro.obs.events.validate_exec_event`); ``*.json`` files are
+parsed as Chrome trace payloads and checked with
 :func:`repro.obs.export.validate_chrome_trace`.  Exit status is non-zero
 on the first invalid file, with every problem printed.
 """
@@ -19,11 +21,16 @@ import sys
 from pathlib import Path
 from typing import List
 
-from .events import validate_event
+from .events import validate_event, validate_exec_event
 from .export import validate_chrome_trace
 
 
 def validate_jsonl_file(path: Path) -> List[str]:
+    # executor-infrastructure exports carry a different schema, routed
+    # on the double suffix the exporter always writes
+    validator = (
+        validate_exec_event if path.name.endswith(".exec.jsonl") else validate_event
+    )
     errors: List[str] = []
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         if not line.strip():
@@ -33,7 +40,7 @@ def validate_jsonl_file(path: Path) -> List[str]:
         except json.JSONDecodeError as exc:
             errors.append(f"line {lineno}: invalid JSON ({exc})")
             continue
-        errors.extend(f"line {lineno}: {p}" for p in validate_event(data))
+        errors.extend(f"line {lineno}: {p}" for p in validator(data))
     return errors
 
 

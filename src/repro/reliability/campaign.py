@@ -31,6 +31,8 @@ faults) are re-drawn.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 import warnings
 from dataclasses import dataclass, field
@@ -73,6 +75,28 @@ class FaultEvent:
             parts.append("links " + ", ".join(map(str, self.links)))
         return "; ".join(parts)
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (tuples become lists), for canonical hashing
+        and checkpoint manifests."""
+        return {
+            "cycle": self.cycle,
+            "nodes": [list(coord) for coord in self.nodes],
+            "links": [[list(coord), dim, direction] for coord, dim, direction in self.links],
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        return cls(
+            cycle=int(data["cycle"]),
+            nodes=tuple(tuple(coord) for coord in data.get("nodes", [])),
+            links=tuple(
+                (tuple(coord), int(dim), int(direction))
+                for coord, dim, direction in data.get("links", [])
+            ),
+            label=data.get("label", ""),
+        )
+
 
 class FaultCampaign:
     """An ordered timeline of fault events (cycles relative to the cycle
@@ -91,6 +115,29 @@ class FaultCampaign:
     def horizon(self) -> int:
         """Cycle of the last event (0 for an empty campaign)."""
         return self.events[-1].cycle if self.events else 0
+
+    # ------------------------------------------------------------------
+    # canonical identity
+    # ------------------------------------------------------------------
+    def to_canonical(self) -> dict:
+        """A JSON-safe dict that uniquely identifies this campaign's
+        timeline — the basis of checkpoint task keys."""
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_canonical(cls, data: dict) -> "FaultCampaign":
+        return cls(FaultEvent.from_dict(entry) for entry in data.get("events", []))
+
+    def content_hash(self, version_tag: str = "") -> str:
+        """Stable hash of the canonical timeline (plus an optional
+        code-version tag), mirroring
+        :meth:`~repro.sim.config.SimulationConfig.content_hash`."""
+        payload = json.dumps(
+            {"campaign": self.to_canonical(), "version": version_tag},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # seeded generators

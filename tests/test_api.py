@@ -114,6 +114,19 @@ class TestResultSet:
         rs = ResultSet([])
         assert len(rs) == 0 and rs.saturation_utilization() == 0.0
 
+    def test_summary_includes_infra_counters(self, rs):
+        summary = rs.summary()
+        assert summary["points"] == 2 and summary["executed"] == 2
+        for counter in (
+            "infra_retries",
+            "infra_timeouts",
+            "infra_crashes",
+            "infra_hung",
+            "quarantined",
+            "replayed_failures",
+        ):
+            assert summary[counter] == 0  # a healthy run stays all-zero
+
 
 class TestCampaignExperiment:
     CAMPAIGN = FaultCampaign([FaultEvent(150, nodes=((3, 3),), label="die")])

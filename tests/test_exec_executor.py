@@ -6,11 +6,13 @@ can pickle them.
 """
 
 import os
+import time
 from dataclasses import dataclass
 
 import pytest
 
 from repro.exec import (
+    ExecPolicy,
     ExecutionError,
     PointTask,
     ResultStore,
@@ -76,6 +78,50 @@ class _CrashTask:
         if os.getpid() != self.parent_pid:
             os._exit(1)
         return "survived-in-process"
+
+
+@dataclass(frozen=True)
+class _FlakyCrashTask:
+    """Crashes its worker exactly once (the first claimant of the marker
+    file), then computes the real simulation result — the shape of a
+    transient infrastructure fault."""
+
+    config: SimulationConfig
+    marker: str
+    cacheable = False
+
+    def execute(self):
+        try:
+            os.rename(self.marker, self.marker + ".claimed")
+        except OSError:
+            pass  # already claimed: behave
+        else:
+            os._exit(1)
+        return Simulator(self.config).run()
+
+
+@dataclass(frozen=True)
+class _PoisonTask:
+    """Crashes its worker on every attempt — a genuine poison task."""
+
+    config: SimulationConfig
+    cacheable = False
+
+    def execute(self):
+        os._exit(1)
+
+
+@dataclass(frozen=True)
+class _SleepTask:
+    """Blocks for longer than any test-policy budget."""
+
+    config: SimulationConfig
+    seconds: float
+    cacheable = False
+
+    def execute(self):
+        time.sleep(self.seconds)
+        return "finished-sleeping"
 
 
 class TestResolveJobs:
@@ -180,6 +226,117 @@ class TestFailureHandling:
             payloads, stats = execute(tasks, jobs=2)
         assert payloads == ["survived-in-process"]
         assert stats.pool_broken and stats.executed == 1
+
+
+class TestFaultTolerance:
+    """The supervised pool's failure model: transient crashes retry to
+    the identical result, overdue/hung workers are killed and accounted,
+    and poison tasks are quarantined instead of sinking the sweep."""
+
+    def test_transient_crash_retries_to_identical_result(self, tmp_path):
+        marker = tmp_path / "crash-once"
+        marker.touch()
+        cfg = config()
+        policy = ExecPolicy(
+            max_attempts=3, backoff_base=0.01, in_process_fallback=False
+        )
+        payloads, stats = execute(
+            [_FlakyCrashTask(cfg, str(marker))], jobs=2, policy=policy
+        )
+        assert payloads == [Simulator(cfg).run()]  # retry is result-neutral
+        assert not marker.exists() and (tmp_path / "crash-once.claimed").exists()
+        assert stats.infra_crashes == 1 and stats.infra_retries == 1
+        assert stats.failed == 0 and stats.executed == 1
+        assert [e.kind for e in stats.infra_events] == ["task_crash", "task_retry"]
+        assert all(e.task_index == 0 for e in stats.infra_events)
+
+    def test_timeout_kills_overdue_worker(self):
+        policy = ExecPolicy(
+            task_timeout=0.5, max_attempts=1, in_process_fallback=False
+        )
+        payloads, stats = execute(
+            [_SleepTask(config(), 30.0)],
+            jobs=2,
+            policy=policy,
+            allow_failures=True,
+        )
+        assert payloads == [None]
+        assert stats.infra_timeouts == 1 and stats.quarantined == 1
+        (failure,) = stats.failures
+        assert failure.kind == "timeout" and failure.attempts == 1
+
+    def test_hung_worker_detected_by_watchdog(self):
+        # heartbeat_interval=0 silences the worker's beats, so the
+        # blocked task looks exactly like a process stalled in a syscall
+        policy = ExecPolicy(
+            heartbeat_interval=0.0,
+            heartbeat_grace=0.5,
+            max_attempts=1,
+            in_process_fallback=False,
+        )
+        payloads, stats = execute(
+            [_SleepTask(config(), 30.0)],
+            jobs=2,
+            policy=policy,
+            allow_failures=True,
+        )
+        assert payloads == [None]
+        assert stats.infra_hung == 1
+        (failure,) = stats.failures
+        assert failure.kind == "hung"
+
+    def test_poison_task_quarantined_sweep_survives(self):
+        cfg = config()
+        policy = ExecPolicy(
+            max_attempts=2, backoff_base=0.01, in_process_fallback=False
+        )
+        payloads, stats = execute(
+            [_PoisonTask(cfg), PointTask(cfg)],
+            jobs=2,
+            policy=policy,
+            allow_failures=True,
+        )
+        assert payloads[0] is None
+        assert payloads[1] == Simulator(cfg).run()  # the healthy point survived
+        assert stats.quarantined == 1
+        assert stats.infra_crashes == 2 and stats.infra_retries == 1
+        (failure,) = stats.failures
+        assert failure.kind == "crash" and failure.index == 0
+        assert failure.attempts == 2 and "quarantined" in failure.message
+        kinds = [e.kind for e in stats.infra_events]
+        assert kinds == ["task_crash", "task_retry", "task_crash", "task_quarantine"]
+
+    def test_backoff_schedule_is_deterministic(self):
+        policy = ExecPolicy(backoff_base=0.05, backoff_factor=2.0, backoff_cap=2.0)
+        assert [policy.backoff(n) for n in (1, 2, 3)] == [0.05, 0.1, 0.2]
+        assert policy.backoff(50) == 2.0  # capped
+
+
+class TestKillAndResume:
+    """The tentpole property on an 8x8 sweep: SIGKILL a worker and the
+    whole parent mid-run, resume from the checkpoint, and the surviving
+    results are bit-for-bit identical to an uninterrupted jobs=1 run."""
+
+    def test_chaos_kill_and_resume_matches_serial(self, tmp_path):
+        from repro.exec.chaos import run_chaos
+
+        report = run_chaos(
+            tmp_path / "chaos",
+            radix=8,
+            jobs=2,
+            seed=99,
+            worker_kills=1,
+            parent_kills=1,
+            rates=(0.004, 0.008, 0.012, 0.016, 0.020, 0.024),
+            warmup=100,
+            measure=300,
+        )
+        assert report.ok, report.describe()
+        assert report.identical
+        assert report.parent_kills == 1
+        assert report.worker_kills_claimed == 1
+        assert report.rounds == 2  # one killed round + one clean resume
+        assert report.fsck_report.clean
 
 
 class TestWorkerNetworkReuse:

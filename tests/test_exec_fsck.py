@@ -1,0 +1,190 @@
+"""Tests for store integrity checking (repro.exec.fsck): every issue
+kind is detected, quarantine preserves the evidence, dry-run touches
+nothing, and the CLI exit codes reflect what was found.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.exec.fsck import FsckIssue, fsck, main as fsck_main
+from repro.exec.store import QUARANTINE_DIR, ResultStore
+from repro.sim import SimulationConfig, Simulator
+
+
+def config(**kwargs):
+    defaults = dict(
+        topology="torus",
+        radix=6,
+        dims=2,
+        rate=0.01,
+        warmup_cycles=100,
+        measure_cycles=400,
+        seed=9,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Simulator(config()).run()
+
+
+@pytest.fixture()
+def store(tmp_path, result):
+    store = ResultStore(tmp_path / "results")
+    store.store(config(), result)
+    store.store(config(rate=0.02), result)
+    return store
+
+
+def entry_path(store, cfg=None):
+    return store.path_for(cfg if cfg is not None else config())
+
+
+def rewrite(path, mutate):
+    entry = json.loads(path.read_text(encoding="utf-8"))
+    mutate(entry)
+    path.write_text(json.dumps(entry), encoding="utf-8")
+
+
+class TestCleanStore:
+    def test_clean_report(self, store):
+        report = fsck(store)
+        assert report.clean
+        assert report.scanned == 2 and report.ok == 2
+        assert report.issues == [] and report.temps_removed == 0
+        assert report.describe().endswith("store is clean")
+
+    def test_accepts_a_bare_path(self, store):
+        assert fsck(store.root).clean
+
+    def test_empty_store(self, tmp_path):
+        report = fsck(tmp_path / "nothing-here")
+        assert report.clean and report.scanned == 0
+
+
+class TestIssueKinds:
+    def test_torn_entry(self, store):
+        entry_path(store).write_text("{ torn json", encoding="utf-8")
+        report = fsck(store)
+        (issue,) = report.issues
+        assert issue.kind == "torn-entry"
+        assert not report.clean
+
+    def test_missing_fields_is_torn(self, store):
+        entry_path(store).write_text('{"key": "only"}', encoding="utf-8")
+        (issue,) = fsck(store).issues
+        assert issue.kind == "torn-entry" and "missing" in issue.detail
+
+    def test_renamed_entry_is_key_mismatch(self, store):
+        path = entry_path(store)
+        imposter = path.with_name("0" * 63 + "f.json")
+        path.rename(imposter)
+        kinds = {issue.kind for issue in fsck(store).issues}
+        assert kinds == {"key-mismatch"}
+
+    def test_wrong_shard_is_misplaced(self, store):
+        path = entry_path(store)
+        wrong = store.root / ("zz" if path.parent.name != "zz" else "yy")
+        wrong.mkdir()
+        path.rename(wrong / path.name)
+        (issue,) = fsck(store).issues
+        assert issue.kind == "misplaced"
+
+    def test_unrebuildable_result(self, store):
+        rewrite(entry_path(store), lambda e: e.update(result=[]))
+        (issue,) = fsck(store).issues
+        assert issue.kind == "bad-result"
+
+    def test_unrebuildable_config(self, store):
+        rewrite(entry_path(store), lambda e: e.update(config={"bogus": True}))
+        (issue,) = fsck(store).issues
+        assert issue.kind == "bad-config"
+
+    def test_edited_config_breaks_the_hash(self, store):
+        """A rebuildable config that no longer hashes to the filename
+        must not be served for the wrong configuration."""
+
+        def bump_rate(entry):
+            entry["config"]["rate"] = 0.999
+
+        rewrite(entry_path(store), bump_rate)
+        (issue,) = fsck(store).issues
+        assert issue.kind == "key-mismatch" and "content hash" in issue.detail
+
+
+class TestRepair:
+    def test_quarantine_preserves_evidence(self, store):
+        path = entry_path(store)
+        original = "{ torn json"
+        path.write_text(original, encoding="utf-8")
+        report = fsck(store)
+        (issue,) = report.issues
+        assert not path.exists()  # removed from the serving tree ...
+        moved = store.root / QUARANTINE_DIR / path.name
+        assert str(moved) == issue.quarantined_to
+        assert moved.read_text(encoding="utf-8") == original  # ... not deleted
+        assert store.load(config()) is None  # reads as a miss now
+        assert fsck(store).clean  # second pass: nothing left to fix
+
+    def test_quarantine_never_overwrites(self, store, result):
+        path = entry_path(store)
+        qdir = store.root / QUARANTINE_DIR
+        qdir.mkdir()
+        shutil.copy(path, qdir / path.name)  # name already taken
+        path.write_text("{ torn", encoding="utf-8")
+        (issue,) = fsck(store).issues
+        assert issue.quarantined_to.endswith(".1")
+
+    def test_temp_files_collected(self, store):
+        tmp = next(iter(store._shards())) / "leftover.tmp"
+        tmp.write_text("half a result", encoding="utf-8")
+        report = fsck(store)
+        assert report.temps_removed == 1 and not tmp.exists()
+        assert not report.clean  # a removed temp is evidence of a crash
+
+    def test_dry_run_changes_nothing(self, store):
+        path = entry_path(store)
+        path.write_text("{ torn", encoding="utf-8")
+        tmp = next(iter(store._shards())) / "leftover.tmp"
+        tmp.write_text("x", encoding="utf-8")
+        report = fsck(store, repair=False)
+        assert not report.repaired
+        (issue,) = report.issues
+        assert issue.quarantined_to == ""
+        assert report.temps_removed == 1  # counted, and ...
+        assert path.exists() and tmp.exists()  # ... nothing moved
+
+    def test_quarantine_dir_not_scanned_as_entries(self, store):
+        """Quarantined files must not be re-reported forever."""
+        entry_path(store).write_text("{ torn", encoding="utf-8")
+        fsck(store)
+        report = fsck(store)
+        assert report.clean and report.scanned == 1
+
+
+class TestMain:
+    def test_exit_zero_when_clean(self, store, capsys):
+        assert fsck_main([str(store.root)]) == 0
+        assert "store is clean" in capsys.readouterr().out
+
+    def test_exit_one_on_issues(self, store, capsys):
+        entry_path(store).write_text("{ torn", encoding="utf-8")
+        assert fsck_main([str(store.root)]) == 1
+        out = capsys.readouterr().out
+        assert "torn-entry" in out and "store needed repair" in out
+
+    def test_dry_run_flag(self, store):
+        path = entry_path(store)
+        path.write_text("{ torn", encoding="utf-8")
+        assert fsck_main([str(store.root), "--dry-run"]) == 1
+        assert path.exists()
+
+    def test_issue_describe_includes_destination(self):
+        issue = FsckIssue(
+            kind="torn-entry", path="a/b.json", detail="bad", quarantined_to="q/b.json"
+        )
+        assert "-> q/b.json" in issue.describe()

@@ -1,12 +1,17 @@
 """Tests for config canonicalization, content hashing, and the on-disk
-result store (repro.exec.store)."""
+result store (repro.exec.store) — including the crash-safety layer: the
+write-ahead journal and stale-temp garbage collection on open."""
 
 import dataclasses
 import json
+import os
+import subprocess
+import sys
+import time
 
 import pytest
 
-from repro.exec.store import CODE_VERSION, ResultStore, default_store_root
+from repro.exec.store import CODE_VERSION, ResultStore, default_store_root, pid_alive
 from repro.faults import FaultSet
 from repro.router import UNPIPELINED
 from repro.sim import SimulationConfig, Simulator
@@ -143,3 +148,129 @@ class TestResultStore:
         monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "env-store"))
         assert default_store_root() == tmp_path / "env-store"
         assert ResultStore().root == tmp_path / "env-store"
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Simulator(config()).run()
+
+
+def dead_pid():
+    """A pid that provably names no live process: a child we already
+    reaped."""
+    proc = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return int(proc.stdout.strip())
+
+
+def plant_temp(store, name="leftover.tmp", age=0.0):
+    shard = store.root / "ab"
+    shard.mkdir(parents=True, exist_ok=True)
+    tmp = shard / name
+    tmp.write_text("half a result", encoding="utf-8")
+    if age:
+        past = time.time() - age
+        os.utime(tmp, (past, past))
+    return tmp
+
+
+def plant_begin(store, tmp, pid):
+    """A journaled *begin* with no *commit* — an in-flight write."""
+    record = {
+        "op": "begin",
+        "key": "k" * 64,
+        "pid": pid,
+        "time": time.time(),
+        "tmp": os.path.relpath(tmp, store.root),
+    }
+    store.root.mkdir(parents=True, exist_ok=True)
+    with open(store.journal_path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record) + "\n")
+
+
+class TestCrashSafety:
+    def test_pid_alive(self):
+        assert pid_alive(os.getpid())
+        assert not pid_alive(dead_pid())
+        assert not pid_alive(-1) and not pid_alive(0)
+
+    def test_store_brackets_writes_in_the_journal(self, tmp_path, result):
+        store = ResultStore(tmp_path / "results")
+        store.store(config(), result)
+        ops = [r["op"] for r in store.journal_entries()]
+        assert ops == ["begin", "commit"]
+        begin, commit = store.journal_entries()
+        assert begin["pid"] == commit["pid"] == os.getpid()
+        assert begin["key"] == commit["key"] == store.key(config())
+        assert begin["tmp"] == commit["tmp"]
+        assert store.pending_writes() == []  # committed: nothing in flight
+        assert store.temp_files() == []
+
+    def test_torn_journal_tail_is_skipped(self, tmp_path, result):
+        store = ResultStore(tmp_path / "results")
+        store.store(config(), result)
+        with open(store.journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "beg')
+        assert [r["op"] for r in store.journal_entries()] == ["begin", "commit"]
+
+    def test_dead_writers_temp_collected_on_open(self, tmp_path):
+        """The self-healing pass: a SIGKILLed writer's journaled temp is
+        removed the next time anything opens the store."""
+        store = ResultStore(tmp_path / "results", clean_on_open=False)
+        tmp = plant_temp(store)
+        plant_begin(store, tmp, dead_pid())
+        reopened = ResultStore(store.root)  # clean_on_open=True (default)
+        assert not tmp.exists()
+        assert reopened.journal_path.read_text(encoding="utf-8") == ""
+
+    def test_live_writers_temp_preserved(self, tmp_path):
+        """A temp owned by a journaled *live* pid is a write in progress
+        — never touched, and the journal keeps its evidence."""
+        store = ResultStore(tmp_path / "results", clean_on_open=False)
+        tmp = plant_temp(store, age=7200.0)  # old, but the writer lives
+        plant_begin(store, tmp, os.getpid())
+        ResultStore(store.root)
+        assert tmp.exists()
+        assert store.pending_writes()  # journal not truncated either
+
+    def test_unjournaled_temp_aged_out(self, tmp_path):
+        store = ResultStore(tmp_path / "results", clean_on_open=False)
+        old = plant_temp(store, "old.tmp", age=7200.0)
+        fresh = plant_temp(store, "fresh.tmp")
+        ResultStore(store.root)  # default ttl: one hour
+        assert not old.exists()
+        assert fresh.exists()  # maybe someone is mid-write: keep it
+
+    def test_clean_stale_returns_count_and_honors_ttl(self, tmp_path):
+        store = ResultStore(tmp_path / "results", clean_on_open=False)
+        plant_temp(store, "a.tmp", age=50.0)
+        plant_temp(store, "b.tmp", age=50.0)
+        assert store.clean_stale(ttl=3600.0) == 0
+        assert store.clean_stale(ttl=10.0) == 2
+        assert store.temp_files() == []
+
+    def test_interrupted_write_leaves_old_entry_intact(
+        self, tmp_path, result, monkeypatch
+    ):
+        """Crash-consistency: a failure after *begin* (mid temp write)
+        never tears the existing entry, and the journal records the
+        in-flight write."""
+        store = ResultStore(tmp_path / "results")
+        path = store.store(config(), result)
+        before = path.read_text(encoding="utf-8")
+
+        def dies(*args, **kwargs):
+            raise RuntimeError("writer dies here")
+
+        monkeypatch.setattr(json, "dump", dies)
+        with pytest.raises(RuntimeError, match="writer dies"):
+            store.store(config(), result)
+        monkeypatch.undo()
+        assert path.read_text(encoding="utf-8") == before
+        assert store.load(config()) == result
+        (pending,) = store.pending_writes()  # begin with no commit
+        assert pending["pid"] == os.getpid()

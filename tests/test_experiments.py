@@ -171,3 +171,72 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
+
+    def test_resume_checkpoints_and_serves_on_rerun(
+        self, tmp_path, capsys, tiny_scale, monkeypatch
+    ):
+        """--resume DIR: the first run writes a checkpoint under DIR;
+        the identical re-run executes nothing."""
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "store"))
+        ckpt = tmp_path / "ckpt"
+        cold = main(["fig8", "--jobs", "1", "--resume", str(ckpt)])
+        cold_out = capsys.readouterr()
+        warm = main(["fig8", "--jobs", "1", "--resume", str(ckpt)])
+        warm_out = capsys.readouterr()
+        assert cold == warm == 0
+        assert "cache: 0 hits" in cold_out.err
+        assert ", 0 executed" in warm_out.err
+        assert cold_out.out == warm_out.out  # the visible report is identical
+        assert list(ckpt.glob("*/manifest.json"))
+        assert list(ckpt.glob("*/done.jsonl"))
+
+    def test_resume_requires_the_store(self):
+        with pytest.raises(SystemExit, match="--resume needs the result store"):
+            main(["fig8", "--resume", "ckpt", "--no-cache"])
+
+    def test_fsck_subcommand(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "store"))
+        assert main(["fsck"]) == 0
+        out = capsys.readouterr().out
+        assert "fsck" in out and "store is clean" in out
+
+    def test_policy_flags_build_an_exec_policy(self):
+        from repro.exec import ExecPolicy
+        from repro.experiments.cli import _make_context
+
+        ctx = _make_context(build_parser().parse_args(["fig8"]))
+        assert ctx.policy is None  # defaults stay with the executor
+        ctx = _make_context(
+            build_parser().parse_args(
+                ["fig8", "--task-timeout", "1.5", "--retries", "5"]
+            )
+        )
+        assert ctx.policy == ExecPolicy(task_timeout=1.5, max_attempts=5)
+        ctx = _make_context(
+            build_parser().parse_args(["fig8", "--task-timeout", "2.0"])
+        )
+        assert ctx.policy.task_timeout == 2.0
+        assert ctx.policy.max_attempts == ExecPolicy().max_attempts
+
+    def test_infra_line_absent_on_healthy_runs(self, capsys):
+        assert main(["tables"]) == 0
+        assert "[repro] infra:" not in capsys.readouterr().err
+
+    def test_infra_line_reports_retries(self, capsys, monkeypatch):
+        """The infra summary appears iff something infra-level happened,
+        and result accounting (the cache line CI greps) is untouched."""
+        import repro.experiments.cli as cli_module
+        from repro.exec import ExecutionStats
+
+        def fake_runner(ctx):
+            ctx.totals.infra_retries = 2
+            ctx.totals.infra_crashes = 2
+            ctx.totals.quarantined = 1
+            return "report"
+
+        monkeypatch.setitem(cli_module._COMMANDS, "fig8", fake_runner)
+        assert main(["fig8", "--no-cache"]) == 0
+        err = capsys.readouterr().err
+        assert "[repro] infra: 2 retries (2 crashes, 0 timeouts, 0 hung), " \
+            "1 quarantined" in err
+        assert "cache: 0 hits" in err

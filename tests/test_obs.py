@@ -16,6 +16,7 @@ from repro.obs import (
     BLOCKED,
     DELIVER,
     EVENT_KINDS,
+    EXEC_EVENT_KINDS,
     GENERATE,
     INJECT,
     MISROUTE_ENTER_RING,
@@ -23,17 +24,21 @@ from repro.obs import (
     TRANSFER,
     TRUNCATE,
     VC_ALLOC,
+    ExecEvent,
     FlightRecorder,
     TraceConfig,
     TraceEvent,
     Tracer,
     events_to_jsonl,
     export_trace,
+    read_exec_jsonl,
     read_jsonl,
     series_to_csv,
     to_chrome_trace,
     validate_chrome_trace,
     validate_event,
+    validate_exec_event,
+    write_exec_jsonl,
     write_jsonl,
 )
 from repro.reliability import ReliabilityConfig, ReliableTransport
@@ -450,3 +455,99 @@ class TestTaxonomy:
         assert any(
             "missing" in p for p in validate_event({"kind": DELIVER})
         )
+
+
+# ----------------------------------------------------------------------
+# executor-infrastructure events
+# ----------------------------------------------------------------------
+
+
+class TestExecEvents:
+    def exec_events(self):
+        return [
+            ExecEvent(kind="task_crash", task_index=3, attempt=1,
+                      key="a" * 64, detail="worker exited with code 1"),
+            ExecEvent(kind="task_retry", task_index=3, attempt=2,
+                      key="a" * 64, detail="retrying after crash"),
+            ExecEvent(kind="task_quarantine", task_index=5, attempt=3),
+        ]
+
+    def test_kinds_cover_the_frozen_set(self):
+        assert EXEC_EVENT_KINDS == {
+            "task_retry", "task_timeout", "task_crash", "task_hung",
+            "task_quarantine",
+        }
+        assert EXEC_EVENT_KINDS.isdisjoint(EVENT_KINDS)
+
+    def test_dict_round_trip_validates(self):
+        for event in self.exec_events():
+            data = event.to_dict()
+            assert validate_exec_event(data) == []
+            assert ExecEvent.from_dict(data) == event
+
+    def test_validation_rejects_bad_events(self):
+        assert validate_exec_event({"kind": "task_crash"})  # missing fields
+        bad_kind = ExecEvent(kind="task_warp", task_index=0, attempt=1).to_dict()
+        assert validate_exec_event(bad_kind)
+        extra = self.exec_events()[0].to_dict()
+        extra["when"] = 12345  # wall-clock time would break determinism
+        assert any("unknown field" in p for p in validate_exec_event(extra))
+
+    def test_jsonl_round_trip(self, tmp_path):
+        events = self.exec_events()
+        path = write_exec_jsonl(events, tmp_path / "sweep.exec.jsonl")
+        assert read_exec_jsonl(path) == events
+
+    def test_read_rejects_corrupt_line(self, tmp_path):
+        path = tmp_path / "bad.exec.jsonl"
+        write_exec_jsonl(self.exec_events(), path)
+        with open(path, "a") as handle:
+            handle.write('{"kind": "task_warp", "task_index": 0, "attempt": 1}\n')
+        with pytest.raises(ValueError, match="bad.exec.jsonl:4"):
+            read_exec_jsonl(path)
+
+    def test_validator_cli_routes_on_double_suffix(self, tmp_path):
+        """python -m repro.obs.validate must apply the exec schema to
+        *.exec.jsonl and the lifecycle schema to every other *.jsonl."""
+        from repro.obs.validate import validate_jsonl_file
+
+        exec_path = write_exec_jsonl(
+            self.exec_events(), tmp_path / "sweep.exec.jsonl"
+        )
+        assert validate_jsonl_file(exec_path) == []
+        # the same payload under a lifecycle name must NOT validate
+        plain = tmp_path / "sweep.events.jsonl"
+        plain.write_text(exec_path.read_text())
+        assert validate_jsonl_file(plain)
+
+    def test_validator_main_accepts_exec_exports(self, tmp_path, capsys):
+        from repro.obs.validate import main as validate_main
+
+        path = write_exec_jsonl(self.exec_events(), tmp_path / "s.exec.jsonl")
+        assert validate_main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_experiment_exports_exec_events_when_traced(
+        self, tmp_path, monkeypatch
+    ):
+        """An infra incident during a traced experiment lands in
+        <label>.exec.jsonl next to the other trace files."""
+        import repro.api as api_module
+        from repro.exec import ExecutionStats
+
+        config = SimulationConfig(
+            topology="torus", radix=6, dims=2, rate=0.01,
+            warmup_cycles=0, measure_cycles=10, seed=1,
+        )
+        payload = Simulator(config).run()
+
+        def execute_with_incidents(tasks, **kwargs):
+            stats = ExecutionStats(total=len(tasks), executed=len(tasks))
+            stats.infra_events.extend(self.exec_events())
+            return [payload] * len(tasks), stats
+
+        monkeypatch.setattr(api_module, "execute", execute_with_incidents)
+        trace = TraceConfig(out_dir=str(tmp_path / "traces"))
+        Experiment.point(config, trace=trace).run(jobs=1, cache=False)
+        (path,) = (tmp_path / "traces").glob("*.exec.jsonl")
+        assert len(read_exec_jsonl(path)) == 3
