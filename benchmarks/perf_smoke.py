@@ -33,6 +33,12 @@ Finally the smoke gates the observability tracer both ways:
   100-cycle time series) is recorded in the baseline; ``--check`` fails
   when the measured factor exceeds ``TRACING_REGRESSION_FACTOR`` (125%)
   of the committed one.
+
+The same in-process technique gates the routing-policy registry: an
+active-core run whose relation came through
+:mod:`repro.core.routing_registry` must stay within
+``POLICY_INDIRECTION_LIMIT`` (2%) of one whose relation was constructed
+directly.
 """
 
 from __future__ import annotations
@@ -67,6 +73,15 @@ RECONFIG_NODES = ((4, 4), (5, 6))
 RECONFIG_BASELINE_CYCLES = 400
 #: a measured reconfiguration cost above this multiple of the baseline fails
 RECONFIG_REGRESSION_FACTOR = 1.25
+
+#: routing-policy indirection smoke: the registry/protocol layer must
+#: add no per-cycle work on the active core — a run whose relation was
+#: built through the registry may be at most 2% slower than one whose
+#: relation was constructed directly (both are the identical class; the
+#: gate pins the contract against the registry ever growing a per-call
+#: adapter)
+POLICY_RATE = 0.002
+POLICY_INDIRECTION_LIMIT = 1.02
 
 #: tracing smoke: the rate where the paper's latency curves live
 TRACING_RATE = 0.002
@@ -124,6 +139,40 @@ def _reconfiguration_cost() -> dict:
         "detection_latency": RECONFIG_LATENCY,
         "window_cycles": window_cycles,
         "cost_cycles": round(best, 1),
+    }
+
+
+def _policy_indirection_cost() -> dict:
+    from repro.core.ft_routing import FaultTolerantRouting
+
+    config = SimulationConfig(
+        topology="torus", radix=RADIX, dims=2, rate=POLICY_RATE,
+        warmup_cycles=0, measure_cycles=10, seed=42, fault_percent=1,
+    )
+    best = {"direct": 0.0, "registry": 0.0}
+    # interleaved like the tracing gate: "registry" is the normal path
+    # (SimNetwork asks the routing registry for the relation), "direct"
+    # swaps in a relation constructed the pre-registry way; any per-call
+    # wrapper the registry ever grows shows up only in "registry"
+    for _ in range(REPETITIONS):
+        for variant in ("direct", "registry"):
+            sim = Simulator(config, core="active")
+            if variant == "direct":
+                sim.net.routing = FaultTolerantRouting.for_scenario(
+                    sim.net.topology, sim.net.scenario
+                )
+            for _ in range(WARMUP_CYCLES):
+                sim.step()
+            start = time.perf_counter()
+            for _ in range(MEASURE_CYCLES):
+                sim.step()
+            cps = MEASURE_CYCLES / (time.perf_counter() - start)
+            best[variant] = max(best[variant], cps)
+    return {
+        "rate": POLICY_RATE,
+        "direct_cycles_per_sec": round(best["direct"], 1),
+        "registry_cycles_per_sec": round(best["registry"], 1),
+        "indirection_overhead": round(best["direct"] / best["registry"], 3),
     }
 
 
@@ -186,6 +235,12 @@ def measure() -> dict:
         f"enabled={tracing['enabled_cycles_per_sec']:9.1f} c/s  "
         f"overhead={tracing['enabled_overhead']:.2f}x"
     )
+    policy = _policy_indirection_cost()
+    print(
+        f"policy indirection: direct={policy['direct_cycles_per_sec']:9.1f} c/s  "
+        f"registry={policy['registry_cycles_per_sec']:9.1f} c/s  "
+        f"overhead={policy['indirection_overhead']:.3f}x"
+    )
     return {
         "config": {
             "topology": "torus", "radix": RADIX, "dims": 2,
@@ -195,6 +250,7 @@ def measure() -> dict:
         "rates": points,
         "reconfiguration": reconfig,
         "tracing": tracing,
+        "policy": policy,
     }
 
 
@@ -214,6 +270,7 @@ def check(measured: dict, baseline: dict) -> int:
         )
         if got["speedup"] < floor:
             failures += 1
+    failures += _check_policy(measured)
     base = baseline.get("reconfiguration")
     if base is None:
         # pre-reconfiguration baseline file: nothing to compare against
@@ -233,6 +290,24 @@ def check(measured: dict, baseline: dict) -> int:
         failures += 1
     failures += _check_tracing(measured, baseline)
     return failures
+
+
+def _check_policy(measured: dict) -> int:
+    # in-process gate like the tracing-disabled one: the two variants are
+    # compared within the same interleaved loop, so no baseline entry is
+    # needed
+    got = measured.get("policy")
+    if got is None:
+        print("policy indirection: missing from measurement", file=sys.stderr)
+        return 1
+    ratio = got["indirection_overhead"]
+    verdict = "ok" if ratio <= POLICY_INDIRECTION_LIMIT else "REGRESSION"
+    print(
+        f"policy indirection: registry {got['registry_cycles_per_sec']:.1f} c/s vs "
+        f"direct {got['direct_cycles_per_sec']:.1f} c/s (x{ratio:.3f}, "
+        f"limit x{POLICY_INDIRECTION_LIMIT}) -> {verdict}"
+    )
+    return 1 if ratio > POLICY_INDIRECTION_LIMIT else 0
 
 
 def _check_tracing(measured: dict, baseline: dict) -> int:

@@ -47,7 +47,7 @@ def main() -> None:
         run("FT-PDR (pipelined)", fault_percent=1),
         run("crossbar (pipelined)", fault_percent=1, router_model="crossbar"),
         run("FT-PDR fault-free", fault_percent=0),
-        run("baseline PDR (no FT, e-cube)", fault_percent=0, fault_tolerant=False),
+        run("baseline PDR (no FT, e-cube)", fault_percent=0, fault_tolerant=False, routing_algorithm="ecube"),
         run("FT-PDR unpipelined", fault_percent=0, timing=UNPIPELINED),
     ]
     print(format_table(

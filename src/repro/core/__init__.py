@@ -26,17 +26,41 @@ from .vc_allocation import (
 )
 from .ft_routing import Decision, ECubeRouting, FaultTolerantRouting, StagedRoutingView
 from .table_routing import TableRoute, TableRouting, TableRoutingError
+from .routing_policy import RoutingPolicy
+from .routing_registry import (
+    PolicySpec,
+    build_routing,
+    policy_spec,
+    register_policy,
+    registered_policies,
+    unregister_policy,
+)
+from .updown import AdaptiveRouting, FashionRouting, UpDownOrder, UpDownTables
+from .avoidance import AvoidFaultyRouting, AvoidRoute
 
 __all__ = [
     "MESH_NUM_CLASSES",
     "TORUS_NUM_CLASSES",
+    "AdaptiveRouting",
+    "AvoidFaultyRouting",
+    "AvoidRoute",
     "Decision",
     "ECubeRouting",
+    "FashionRouting",
     "FaultTolerantRouting",
+    "PolicySpec",
+    "RoutingPolicy",
     "StagedRoutingView",
     "TableRoute",
     "TableRouting",
     "TableRoutingError",
+    "UpDownOrder",
+    "UpDownTables",
+    "build_routing",
+    "policy_spec",
+    "register_policy",
+    "registered_policies",
+    "unregister_policy",
     "MessageRoute",
     "MisroutePhase",
     "MisrouteState",

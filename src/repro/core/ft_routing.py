@@ -79,6 +79,10 @@ class FaultTolerantRouting:
     #:   the paper's Section 6 identifies.
     ORIENTATION_POLICIES = ("destination", "shorter-side", "balanced")
 
+    #: normal messages may borrow idle same-rank classes on off-ring
+    #: channels (the parity-rank sharing rule keeps the CDG acyclic)
+    supports_sharing = True
+
     def __init__(
         self,
         network: GridNetwork,
@@ -394,6 +398,26 @@ class StagedRoutingView:
     def commit_hop(self, state: MessageRoute, current: Coord, decision: Decision) -> Coord:
         return self._relation_at(current).commit_hop(state, current, decision)
 
+    def route_path(
+        self, src: Coord, dst: Coord, *, max_hops: Optional[int] = None
+    ) -> List[Coord]:
+        # an analytic walk through the transition window follows each
+        # node's own knowledge, exactly as the simulator would
+        state = self.initial_state(src, dst)
+        budget = max_hops if max_hops is not None else (
+            8 * self.network.dims * self.network.radix + 64
+        )
+        path = [src]
+        current = src
+        for _ in range(budget):
+            relation = self._relation_at(current)
+            decision = relation.next_hop(state, current)
+            if decision.consume:
+                return path
+            current = relation.commit_hop(state, current, decision)
+            path.append(current)
+        raise RoutingError(f"message {src}->{dst} exceeded {budget} hops (livelock?)")
+
     # -- structural queries: the pre-fault world ------------------------
     @property
     def network(self) -> GridNetwork:
@@ -434,11 +458,15 @@ class ECubeRouting:
     :class:`RoutingError` if it ever meets a fault.
     """
 
+    supports_sharing = True
+
     def __init__(self, network: GridNetwork):
         self.network = network
         self.num_vc_classes = 2 if network.wraparound else 1
+        self.base_vc_classes = self.num_vc_classes
         self.ring_index = FaultRingIndex(network, [])
         self.faults = FaultSet()
+        self.view = LocalFaultView(network, self.faults)
 
     def initial_state(self, src: Coord, dst: Coord) -> MessageRoute:
         first_dim = next_ecube_dim(src, dst)
@@ -470,7 +498,12 @@ class ECubeRouting:
             raise RoutingError("e-cube stepped off the mesh boundary")
         return nxt
 
-    def route_path(self, src: Coord, dst: Coord, **_kwargs) -> List[Coord]:
+    def route_path(
+        self, src: Coord, dst: Coord, *, max_hops: Optional[int] = None
+    ) -> List[Coord]:
         from .ecube import ecube_path
 
-        return ecube_path(self.network, src, dst)
+        path = ecube_path(self.network, src, dst)
+        if max_hops is not None and len(path) - 1 > max_hops:
+            raise RoutingError(f"message {src}->{dst} exceeded {max_hops} hops")
+        return path

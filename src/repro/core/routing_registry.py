@@ -1,0 +1,203 @@
+"""The routing-policy registry: algorithm names to implementations.
+
+This is the only place that maps a ``routing_algorithm`` string to a
+:class:`~repro.core.routing_policy.RoutingPolicy` implementation.
+``sim/config.py`` validates names against it, ``sim/network.py`` builds
+the active relation through it, and ``sim/reconfiguration.py`` asks it
+how to rebuild the relation after a runtime fault — none of them know
+any policy by name anymore.
+
+Third-party policies plug in without touching repro code::
+
+    from repro.core.routing_registry import PolicySpec, register_policy
+
+    register_policy(PolicySpec(
+        name="my-policy",
+        builder=lambda network, scenario, config: MyPolicy(network, scenario.faults),
+        description="...",
+    ))
+    SimulationConfig(routing_algorithm="my-policy")   # now validates
+
+Every registered policy owes the :class:`RoutingPolicy` contract *and*
+deadlock freedom: the conformance suite
+(``tests/test_routing_policies.py``) runs the CDG acyclicity check per
+fault pattern against every name in the registry, and the arena harness
+re-checks it for every cell it simulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..faults import FaultScenario
+from ..topology import GridNetwork
+from .avoidance import AvoidFaultyRouting
+from .ft_routing import ECubeRouting, FaultTolerantRouting
+from .routing_policy import RoutingPolicy
+from .table_routing import TableRouting
+from .updown import AdaptiveRouting, FashionRouting
+
+#: ``builder(network, scenario, config)`` — ``config`` is duck-typed (any
+#: object with the knobs the policy reads, e.g. ``orientation_policy`` /
+#: ``num_vcs``; may be None) so the core never imports the sim layer
+Builder = Callable[[GridNetwork, FaultScenario, Any], RoutingPolicy]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Everything the simulator needs to know about one routing policy
+    besides the policy object itself."""
+
+    name: str
+    builder: Builder
+    description: str = ""
+    #: False for policies that reject any fault (plain e-cube)
+    handles_faults: bool = True
+    #: virtual channels per protocol bank the policy needs by default
+    #: (``num_vcs`` in the configuration overrides)
+    vcs_torus: int = 4
+    vcs_mesh: int = 2
+    #: registry name used to rebuild the relation after a runtime fault;
+    #: self-reconfiguring policies name themselves, fault-incapable ones
+    #: hand over to the paper's scheme (the historical behavior)
+    reconfigure_with: str = ""
+    #: whether PDR nodes need the paper's modified (i+1, i+2) interchip
+    #: organization (any policy that re-enters lower dimensions does)
+    needs_modified_pdr: bool = True
+
+    def required_vcs(self, *, torus: bool) -> int:
+        return self.vcs_torus if torus else self.vcs_mesh
+
+    def reconfigure_target(self) -> str:
+        return self.reconfigure_with or self.name
+
+
+_REGISTRY: Dict[str, PolicySpec] = {}
+
+
+def register_policy(spec: PolicySpec, *, replace: bool = False) -> PolicySpec:
+    """Add a policy to the registry.  Names are unique; pass
+    ``replace=True`` to shadow an existing entry (tests, experiments)."""
+    if not spec.name:
+        raise ValueError("a routing policy needs a non-empty name")
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"routing policy {spec.name!r} is already registered "
+            "(pass replace=True to shadow it)"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_policy(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def registered_policies() -> Tuple[str, ...]:
+    """All registered names, sorted (the dynamic half of configuration
+    error messages)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def policy_spec(name: str) -> PolicySpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown routing_algorithm {name!r}; registered policies: "
+            f"{'/'.join(registered_policies())}"
+        )
+    return spec
+
+
+def build_routing(
+    name: str, network: GridNetwork, scenario: FaultScenario, config: Any = None
+) -> RoutingPolicy:
+    """Instantiate the named policy for one network and fault scenario."""
+    return policy_spec(name).builder(network, scenario, config)
+
+
+# ----------------------------------------------------------------------
+# built-in policies
+# ----------------------------------------------------------------------
+def _build_ft(network, scenario, config) -> FaultTolerantRouting:
+    return FaultTolerantRouting.for_scenario(
+        network,
+        scenario,
+        orientation_policy=getattr(config, "orientation_policy", "destination"),
+    )
+
+
+def _build_ecube(network, scenario, config) -> ECubeRouting:
+    if not scenario.faults.empty:
+        raise ValueError("plain e-cube routing cannot be used with faults")
+    return ECubeRouting(network)
+
+
+def _build_table(network, scenario, config) -> TableRouting:
+    return TableRouting.for_scenario(network, scenario)
+
+
+def _build_fashion(network, scenario, config) -> FashionRouting:
+    return FashionRouting.for_scenario(network, scenario)
+
+
+def _build_adaptive(network, scenario, config) -> AdaptiveRouting:
+    return AdaptiveRouting.for_scenario(network, scenario)
+
+
+def _build_avoid(network, scenario, config) -> AvoidFaultyRouting:
+    num_vcs = getattr(config, "num_vcs", None)
+    per_bank = 2 if network.wraparound else 1
+    banks = max(2, num_vcs // per_bank) if num_vcs else 2
+    return AvoidFaultyRouting.for_scenario(network, scenario, banks=banks)
+
+
+register_policy(
+    PolicySpec(
+        name="ft",
+        builder=_build_ft,
+        description="the paper's misroute-around-f-rings scheme (Section 5)",
+    )
+)
+register_policy(
+    PolicySpec(
+        name="ecube",
+        builder=_build_ecube,
+        description="plain dimension-order routing (fault-free baseline)",
+        handles_faults=False,
+        vcs_torus=2,
+        vcs_mesh=1,
+        reconfigure_with="ft",
+        needs_modified_pdr=False,
+    )
+)
+register_policy(
+    PolicySpec(
+        name="table",
+        builder=_build_table,
+        description="T3D-style two-phase via-intermediate tables (Section 2)",
+        reconfigure_with="ft",
+    )
+)
+register_policy(
+    PolicySpec(
+        name="fashion",
+        builder=_build_fashion,
+        description="FASHION-style self-healing up*/down* tables",
+    )
+)
+register_policy(
+    PolicySpec(
+        name="adaptive",
+        builder=_build_adaptive,
+        description="fault-tolerant adaptive up*/down* (Stroobant et al. style)",
+    )
+)
+register_policy(
+    PolicySpec(
+        name="avoid",
+        builder=_build_avoid,
+        description="avoid-faulty-nodes side-step heuristic (hypercube style)",
+    )
+)

@@ -155,6 +155,12 @@ class TableRouting:
                     pass
         return reachable / total if total else 1.0
 
+    def coverage(self) -> float:
+        """Uniform name for the routable-pair fraction (every
+        partial-coverage policy exposes ``coverage()``; the arena harness
+        keys on it)."""
+        return self.table_coverage()
+
     # ------------------------------------------------------------------
     # routing interface
     # ------------------------------------------------------------------

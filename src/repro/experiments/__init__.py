@@ -1,6 +1,7 @@
 """Harnesses regenerating every table and figure of the paper's
 evaluation (Section 6)."""
 
+from .arena import ArenaCell, ArenaResult, arena
 from .campaign import campaign_report, chaos_report
 from .context import RunContext
 from .figures import (
@@ -17,6 +18,8 @@ from .settings import PAPER, QUICK, ExperimentScale, get_scale
 from .tables import lemma1_evidence, table1, table2, tables_report
 
 __all__ = [
+    "ArenaCell",
+    "ArenaResult",
     "PAPER",
     "PAPER_PEAK_UTILIZATION",
     "PAPER_RAW_THROUGHPUT",
@@ -24,6 +27,7 @@ __all__ = [
     "ExperimentScale",
     "FigureResult",
     "RunContext",
+    "arena",
     "campaign_report",
     "chaos_report",
     "fig8",

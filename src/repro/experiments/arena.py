@@ -1,0 +1,261 @@
+"""Routing-algorithm tournament: every registered policy head-to-head.
+
+The arena sweeps **policy x topology x fault pattern x load** through the
+same Experiment/executor/result-store stack as the figure harnesses and
+emits one comparison report:
+
+* a *static verification* table — for every cell, the routable-pair
+  coverage, the static detour statistics, and the mechanized Dally-Seitz
+  check that the cell's channel dependency graph is acyclic (restricted
+  to the pairs the policy actually routes);
+* a *tournament* table — peak bisection utilization, peak throughput,
+  low-load latency, and the delivered-misroute share per cell;
+* per-topology ASCII charts of the utilization curves.
+
+Cells whose policy covers only part of the healthy pairs (the table
+baseline's single-intermediate rule, the avoidance heuristic's episode
+budget) are verified statically but excluded from the load sweep: the
+generation stage refuses unroutable pairs by design, so simulating such
+a cell would abort rather than measure.  The coverage column records
+exactly what was skipped.
+
+Plain e-cube only competes in the fault-free rows — its builder rejects
+faulty scenarios — and runs on the baseline forward-chain PDR so the
+tournament shows the true no-fault-tolerance reference point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.cdg import assert_deadlock_free, misroute_statistics, routable_pairs
+from ..analysis.report import ascii_chart, format_table, utilization_series
+from ..sim import SimulationConfig, SimNetwork
+from ..sim.runner import saturation_utilization
+from .context import RunContext
+from .figures import FigureResult, _context, _segmented_sweeps
+from .settings import ExperimentScale, get_scale
+
+#: Policies that compete under faults, in report order.  Plain e-cube is
+#: appended automatically to the fault-free rows.
+DEFAULT_POLICIES = ("ft", "table", "fashion", "avoid", "adaptive")
+
+
+@dataclass
+class ArenaCell:
+    """One (policy, topology, fault pattern) corner of the tournament."""
+
+    policy: str
+    topology: str
+    fault_percent: int
+    #: total virtual channels per physical channel the cell simulates with
+    vcs: int
+    #: fraction of healthy ordered pairs the policy routes
+    coverage: float
+    #: fraction of routable pairs whose static path detours
+    detour_fraction: float
+    #: mean extra hops on detoured paths
+    avg_extra_hops: float
+    #: CDG vertices checked acyclic (designated classes, routable pairs)
+    cdg_vertices: int
+    #: False when partial coverage excluded the cell from the load sweep
+    swept: bool
+
+    @property
+    def label(self) -> str:
+        return f"{self.policy} {self.topology} {self.fault_percent}%"
+
+
+@dataclass
+class ArenaResult(FigureResult):
+    cells: List[ArenaCell] = field(default_factory=list)
+
+    def cell(self, policy: str, topology: str, fault_percent: int) -> ArenaCell:
+        for cell in self.cells:
+            if (cell.policy, cell.topology, cell.fault_percent) == (
+                policy, topology, fault_percent
+            ):
+                return cell
+        raise KeyError((policy, topology, fault_percent))
+
+    def render(self) -> str:
+        lines = [f"=== {self.name}: {self.title} ===", ""]
+        lines.append("--- static verification (coverage, detours, CDG acyclicity) ---")
+        static_rows = [
+            [
+                cell.policy,
+                cell.topology,
+                f"{cell.fault_percent}%",
+                cell.vcs,
+                f"{cell.coverage:.3f}",
+                f"{100 * cell.detour_fraction:.1f}%",
+                f"{cell.avg_extra_hops:.2f}",
+                cell.cdg_vertices,
+                "yes" if cell.swept else "no (partial coverage)",
+            ]
+            for cell in self.cells
+        ]
+        lines.append(
+            format_table(
+                [
+                    "policy", "topology", "faults", "VCs", "coverage",
+                    "detoured", "extra hops", "CDG vertices (acyclic)", "swept",
+                ],
+                static_rows,
+            )
+        )
+        lines.append("")
+        lines.append("--- tournament (load sweeps, full-coverage cells) ---")
+        sweep_rows = []
+        for cell in self.cells:
+            if not cell.swept:
+                continue
+            results = self.sweeps[cell.label]
+            best = max(results, key=lambda r: r.throughput_flits_per_cycle)
+            last = results[-1]
+            sweep_rows.append(
+                [
+                    cell.policy,
+                    cell.topology,
+                    f"{cell.fault_percent}%",
+                    f"{100 * saturation_utilization(results):.1f}",
+                    f"{best.throughput_flits_per_cycle:.1f}",
+                    f"{results[0].avg_latency:.1f}",
+                    f"{100 * last.misrouted_messages / max(1, last.delivered):.1f}",
+                ]
+            )
+        lines.append(
+            format_table(
+                [
+                    "policy", "topology", "faults", "peak rho_b %",
+                    "peak thr f/c", "low-load latency", "misrouted %",
+                ],
+                sweep_rows,
+            )
+        )
+        for topology in dict.fromkeys(cell.topology for cell in self.cells):
+            series = {
+                cell.label: utilization_series(self.sweeps[cell.label])
+                for cell in self.cells
+                if cell.swept and cell.topology == topology
+            }
+            if not series:
+                continue
+            lines.append("")
+            lines.append(
+                ascii_chart(
+                    series,
+                    y_label="rho_b %",
+                    x_label=f"applied load ({topology})",
+                )
+            )
+        lines.append("")
+        lines.extend(self.notes)
+        return "\n".join(lines)
+
+
+def _cell_config(
+    policy: str,
+    topology: str,
+    percent: int,
+    scale: ExperimentScale,
+    *,
+    seed: int,
+    fault_seed: int,
+) -> SimulationConfig:
+    return SimulationConfig(
+        topology=topology,
+        radix=scale.radix,
+        dims=2,
+        fault_percent=percent,
+        fault_seed=fault_seed,
+        routing_algorithm=policy,
+        # plain e-cube competes on the baseline forward-chain PDR; every
+        # other policy needs (and defaults to) the modified organization
+        fault_tolerant=policy != "ecube",
+        warmup_cycles=scale.warmup_cycles,
+        measure_cycles=scale.measure_cycles,
+        seed=seed,
+    )
+
+
+def arena(
+    scale_name: str = "",
+    *,
+    ctx: Optional[RunContext] = None,
+    topologies: Sequence[str] = ("torus", "mesh"),
+    fault_percents: Optional[Sequence[int]] = None,
+    policies: Optional[Sequence[str]] = None,
+    fault_seed: int = 7,
+) -> ArenaResult:
+    """Run the tournament and return the comparison result.
+
+    ``policies`` overrides the roster for every fault level (the caller
+    is then responsible for pairing policies with patterns they accept);
+    by default the fault-tolerant roster competes everywhere and plain
+    e-cube joins the fault-free rows."""
+    ctx = _context(ctx, scale_name)
+    scale = get_scale(ctx.scale_name)
+    if fault_percents is None:
+        fault_percents = (0, 1) if scale.name == "quick" else (0, 1, 5)
+    seed = ctx.seed_or(11)
+
+    cells: List[ArenaCell] = []
+    segments: List[Tuple[str, SimulationConfig, Sequence[float]]] = []
+    notes: List[str] = []
+    for topology in topologies:
+        for percent in fault_percents:
+            roster = list(policies) if policies is not None else list(DEFAULT_POLICIES)
+            if policies is None and percent == 0:
+                roster.append("ecube")
+            for policy in roster:
+                base = _cell_config(
+                    policy, topology, percent, scale, seed=seed, fault_seed=fault_seed
+                )
+                net = SimNetwork(base)
+                pairs = routable_pairs(net)
+                healthy = len(net.healthy)
+                coverage = len(pairs) / max(1, healthy * (healthy - 1))
+                vertices = assert_deadlock_free(net, include_sharing=False, pairs=pairs)
+                stats = misroute_statistics(net)
+                cell = ArenaCell(
+                    policy=policy,
+                    topology=topology,
+                    fault_percent=percent,
+                    vcs=net.num_classes,
+                    coverage=coverage,
+                    detour_fraction=stats["detour_fraction"],
+                    avg_extra_hops=stats["avg_extra_hops"],
+                    cdg_vertices=vertices,
+                    swept=coverage == 1.0,
+                )
+                cells.append(cell)
+                if cell.swept:
+                    # thin the grid: endpoints plus the midpoints, enough
+                    # to bracket saturation without a full figure sweep
+                    segments.append((cell.label, base, scale.rate_grids[percent][::2]))
+                else:
+                    notes.append(
+                        f"{cell.label}: coverage {coverage:.3f} < 1 — load sweep "
+                        "skipped (the generation stage refuses unroutable pairs)"
+                    )
+
+    sweeps: Dict[str, list] = (
+        _segmented_sweeps(ctx, segments, label="arena") if segments else {}
+    )
+    swept_count = sum(1 for c in cells if c.swept)
+    notes.append(
+        f"{len(cells)} cells verified statically (CDG acyclic in all), "
+        f"{swept_count} swept dynamically"
+    )
+    return ArenaResult(
+        name="arena",
+        title=(
+            f"routing-policy tournament, {scale.radix}x{scale.radix} "
+            f"{'/'.join(topologies)}, faults {'/'.join(f'{p}%' for p in fault_percents)}"
+        ),
+        sweeps=sweeps,
+        notes=notes,
+        cells=cells,
+    )

@@ -9,6 +9,7 @@ argparse parents)::
     repro-experiments fig9  --scale quick --no-cache   # mesh
     repro-experiments fig10 --jobs 0                   # one worker per CPU
     repro-experiments tables                           # Tables 1 & 2 + Lemma 1
+    repro-experiments arena --jobs 4                   # routing-policy tournament
     repro-experiments throughput --seed 3              # Section 6 raw numbers
     repro-experiments campaign --jobs 2                # runtime-fault survivability
     repro-experiments chaos --seed 3                   # arbitrary patterns, staged detection
@@ -43,6 +44,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..exec import ExecPolicy, ProgressEvent, ResultStore
 from ..obs import TraceConfig
+from .arena import arena
 from .campaign import campaign_report, chaos_report
 from .context import RunContext
 from .extension3d import ext3d
@@ -69,6 +71,7 @@ def _fsck_report(ctx: RunContext) -> str:
 
 
 _COMMANDS: Dict[str, Callable[[RunContext], str]] = {
+    "arena": _figure_runner(arena),
     "fig8": _figure_runner(fig8),
     "fig9": _figure_runner(fig9),
     "fig10": _figure_runner(fig10),
@@ -82,6 +85,8 @@ _COMMANDS: Dict[str, Callable[[RunContext], str]] = {
 }
 
 _DESCRIPTIONS = {
+    "arena": "tournament: every registered routing policy head-to-head "
+    "across topologies, fault patterns, and loads",
     "fig8": "Figure 8: FT-PDR torus under 0/1/5% faults",
     "fig9": "Figure 9: FT-PDR mesh under 0/1/5% faults",
     "fig10": "Figure 10: pipelined vs unpipelined PDRs",

@@ -14,8 +14,8 @@ changes happen inside the switch with no interchip hop.  It is the
 baseline the paper compares against (its earlier work [3, 4] assumed such
 routers).
 
-The *resolution* step maps a routing decision (from
-:class:`repro.core.FaultTolerantRouting`) to the next physical channel
+The *resolution* step maps a routing decision (from whichever
+:class:`repro.core.RoutingPolicy` the registry built) to the next physical channel
 within the node and the admissible virtual channel classes on it,
 implementing the interchip class rules of Section 5:
 
@@ -37,7 +37,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..core import Decision, class_pair
-from ..core.ft_routing import FaultTolerantRouting
+from ..core.routing_policy import RoutingPolicy
 from ..core.message_types import RoutingError
 from ..topology import Coord, Direction, GridNetwork
 from .channels import PhysicalChannel, VirtualChannel
@@ -143,7 +143,7 @@ class NodeModel:
         raise NotImplementedError
 
     def resolve(
-        self, module: Module, message: Message, routing: FaultTolerantRouting, share_idle
+        self, module: Module, message: Message, routing: RoutingPolicy, share_idle
     ) -> Resolution:
         raise NotImplementedError
 
@@ -214,7 +214,7 @@ class CrossbarNode(NodeModel):
         return self.modules[0]
 
     def resolve(
-        self, module: Module, message: Message, routing: FaultTolerantRouting, share_idle
+        self, module: Module, message: Message, routing: RoutingPolicy, share_idle
     ) -> Resolution:
         decision = routing.next_hop(message.route, self.coord)
         if decision.consume:
@@ -268,7 +268,7 @@ class PDRNode(NodeModel):
         return targets
 
     def resolve(
-        self, module: Module, message: Message, routing: FaultTolerantRouting, share_idle
+        self, module: Module, message: Message, routing: RoutingPolicy, share_idle
     ) -> Resolution:
         decision = routing.next_hop(message.route, self.coord)
         here = module.dim_index

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Optional
 
+from ..core.routing_registry import policy_spec
 from ..faults import FaultSet
 from ..router.timing import PIPELINED, RouterTiming
 from ..topology import BiLink
@@ -53,9 +55,11 @@ class SimulationConfig:
     # --- router organization -------------------------------------------
     router_model: str = "pdr"  #: "pdr" or "crossbar"
     fault_tolerant: bool = True  #: modified PDR organization + FT routing
-    #: routing algorithm: None derives from ``fault_tolerant`` ("ft" or
-    #: "ecube"); "table" selects the T3D-style two-phase table baseline
-    #: (Section 2's "rudimentary fault-tolerant routing")
+    #: routing algorithm, validated against
+    #: :mod:`repro.core.routing_registry` (run ``repro-experiments arena
+    #: --list`` or call ``registered_policies()`` for the names).  None
+    #: derives from ``fault_tolerant`` ("ft" or "ecube") — deprecated for
+    #: algorithm *selection*; name the algorithm explicitly
     routing_algorithm: Optional[str] = None
     timing: RouterTiming = PIPELINED
     #: virtual channels per physical channel; None = what the routing
@@ -138,8 +142,16 @@ class SimulationConfig:
             raise ValueError("buffer depth must be positive")
         if self.vc_sharing_mode not in ("rank", "all"):
             raise ValueError("vc_sharing_mode must be 'rank' or 'all'")
-        if self.routing_algorithm not in (None, "ft", "ecube", "table"):
-            raise ValueError("routing_algorithm must be one of ft/ecube/table")
+        if self.routing_algorithm is not None:
+            policy_spec(self.routing_algorithm)  # ValueError lists registered names
+        elif not self.fault_tolerant:
+            warnings.warn(
+                "selecting the routing algorithm via fault_tolerant=False is "
+                "deprecated; set routing_algorithm='ecube' explicitly "
+                "(fault_tolerant keeps controlling the PDR organization)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         if self.protocol_classes < 1:
             raise ValueError("need at least one protocol class")
         if self.request_reply and self.protocol_classes < 2:
@@ -156,6 +168,8 @@ class SimulationConfig:
 
     @property
     def effective_routing(self) -> str:
+        """The registry name of the active routing policy (the legacy
+        ``fault_tolerant`` derivation kept as a shim)."""
         if self.routing_algorithm is not None:
             return self.routing_algorithm
         return "ft" if self.fault_tolerant else "ecube"
@@ -167,13 +181,11 @@ class SimulationConfig:
         return self.vc_sharing_mode if self.share_idle_vcs else "off"
 
     def required_vcs(self) -> int:
-        """Virtual channels per physical channel actually simulated."""
+        """Virtual channels per physical channel actually simulated (what
+        the registered policy declares, unless ``num_vcs`` overrides)."""
         if self.num_vcs is not None:
             return self.num_vcs
-        algorithm = self.effective_routing
-        if algorithm in ("ft", "table"):
-            return 4 if self.is_torus else 2
-        return 2 if self.is_torus else 1
+        return policy_spec(self.effective_routing).required_vcs(torus=self.is_torus)
 
     # ------------------------------------------------------------------
     # canonical serialization and content hashing (the result store's key)

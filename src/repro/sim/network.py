@@ -10,8 +10,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
-from ..core import ECubeRouting, FaultTolerantRouting
-from ..core.table_routing import TableRouting
+from ..core.routing_registry import build_routing, policy_spec
 from ..faults import (
     DegradationInfo,
     FaultScenario,
@@ -91,18 +90,9 @@ class SimNetwork:
         )
 
     def _build_routing(self):
-        algorithm = self.config.effective_routing
-        if algorithm == "ft":
-            return FaultTolerantRouting.for_scenario(
-                self.topology,
-                self.scenario,
-                orientation_policy=self.config.orientation_policy,
-            )
-        if algorithm == "table":
-            return TableRouting.for_scenario(self.topology, self.scenario)
-        if not self.scenario.faults.empty:
-            raise ValueError("plain e-cube routing cannot be used with faults")
-        return ECubeRouting(self.topology)
+        return build_routing(
+            self.config.effective_routing, self.topology, self.scenario, self.config
+        )
 
     def _build_nodes(self) -> None:
         config = self.config
@@ -117,11 +107,12 @@ class SimNetwork:
                     self.topology,
                     self.num_classes,
                     self.base_classes,
-                    # the table baseline's via-turns also need the modified
-                    # interchip connections (a strict forward-chain PDR
-                    # cannot re-enter a lower dimension)
+                    # any policy that re-enters lower dimensions (table
+                    # via-turns, detour episodes, up*/down* walks) needs the
+                    # modified interchip connections — a strict
+                    # forward-chain PDR cannot turn back
                     fault_tolerant=config.fault_tolerant
-                    or config.effective_routing == "table",
+                    or policy_spec(config.effective_routing).needs_modified_pdr,
                 )
             node.on_ring = coord in self._ring_nodes
             self.nodes[coord] = node

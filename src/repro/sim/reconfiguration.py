@@ -43,7 +43,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Set, Tuple
 
-from ..core import FaultTolerantRouting, StagedRoutingView
+from ..core import StagedRoutingView
+from ..core.routing_registry import build_routing, policy_spec
 from ..faults import DetectionProcess, FaultSet, RingGeometryError, degrade_fault_pattern
 from ..core.message_types import RoutingError
 from ..router.channels import ChannelKind, PhysicalChannel
@@ -118,27 +119,29 @@ def apply_runtime_fault(
 def _resolve_target(simulator, merged: FaultSet):
     """Degrade the merged pattern and build its routing relation.
 
+    The relation is rebuilt through the registry: the active policy's
+    spec names what it reconfigures with — self-healing policies rebuild
+    themselves on the new fault knowledge, fault-incapable ones (plain
+    e-cube) hand over to the paper's scheme, the historical behavior.
+
     If the degraded scenario needs a second bank of virtual channel
     classes (layered overlapping rings) that the already-built network
     does not have, re-degrade with overlaps disallowed — the offending
     rings are then merged into one enclosing block instead."""
     net = simulator.net
     config = simulator.config
+    target = policy_spec(config.effective_routing).reconfigure_target()
     scenario, info = degrade_fault_pattern(
         net.topology,
         merged,
         allow_overlapping_rings=config.allow_overlapping_rings,
     )
-    routing = FaultTolerantRouting.for_scenario(
-        net.topology, scenario, orientation_policy=config.orientation_policy
-    )
+    routing = build_routing(target, net.topology, scenario, config)
     if routing.num_vc_classes > net.base_classes:
         scenario, info = degrade_fault_pattern(
             net.topology, merged, allow_overlapping_rings=False
         )
-        routing = FaultTolerantRouting.for_scenario(
-            net.topology, scenario, orientation_policy=config.orientation_policy
-        )
+        routing = build_routing(target, net.topology, scenario, config)
     return scenario, info, routing
 
 
@@ -554,9 +557,13 @@ def _strict_check(simulator) -> None:
     it on)."""
     if not getattr(simulator.config, "strict_invariants", False):
         return
-    from ..analysis.cdg import assert_deadlock_free
+    from ..analysis.cdg import assert_deadlock_free, routable_pairs
 
-    assert_deadlock_free(simulator.net, include_sharing=False)
+    # partial-coverage policies (table, avoid) reject some pairs from
+    # initial_state; the acyclicity obligation covers the routable ones
+    assert_deadlock_free(
+        simulator.net, include_sharing=False, pairs=routable_pairs(simulator.net)
+    )
 
 
 def _record_trace_tail(simulator, report: ReconfigurationReport, msg_ids) -> None:

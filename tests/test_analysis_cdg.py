@@ -78,7 +78,7 @@ class TestAcyclicity:
         torus e-cube WITHOUT the dateline class switch must be cyclic."""
         import networkx as nx
 
-        net = build(fault_tolerant=False)  # plain e-cube, 2 VCs
+        net = build(fault_tolerant=False, routing_algorithm="ecube")  # plain e-cube, 2 VCs
         graph = build_cdg(net)
 
         # collapse the class dimension: pretend every hop used class 0,

@@ -43,8 +43,14 @@ GOLDEN_CONFIGS = {
                    request_reply=True, warmup_cycles=300, measure_cycles=1000, seed=4),
     "table": dict(topology="torus", radix=8, dims=2, rate=0.01, routing_algorithm="table",
                   warmup_cycles=300, measure_cycles=1000, seed=6, fault_percent=1),
-    "ecube": dict(topology="torus", radix=8, dims=2, rate=0.012, fault_tolerant=False,
+    "ecube": dict(topology="torus", radix=8, dims=2, rate=0.012, fault_tolerant=False, routing_algorithm="ecube",
                   warmup_cycles=200, measure_cycles=1000, seed=8),
+    "fashion": dict(topology="torus", radix=8, dims=2, rate=0.01, routing_algorithm="fashion",
+                    warmup_cycles=300, measure_cycles=1000, seed=6, fault_percent=1),
+    "adaptive-mesh": dict(topology="mesh", radix=8, dims=2, rate=0.01, routing_algorithm="adaptive",
+                          warmup_cycles=300, measure_cycles=1000, seed=7, fault_percent=1),
+    "avoid": dict(topology="torus", radix=8, dims=2, rate=0.012, routing_algorithm="avoid",
+                  warmup_cycles=200, measure_cycles=1000, seed=9),
     "uneven-batches": dict(topology="torus", radix=8, dims=2, rate=0.015,
                            warmup_cycles=200, measure_cycles=1005, batches=10, seed=13),
     "sharing-all": dict(topology="torus", radix=8, dims=2, rate=0.012,

@@ -78,7 +78,7 @@ class TestRouterOrganizations:
         assert unpipe.bisection_utilization >= pipe.bisection_utilization * 0.95
 
     def test_baseline_pdr_runs_fault_free(self):
-        result = Simulator(config(fault_tolerant=False, rate=0.01)).run()
+        result = Simulator(config(fault_tolerant=False, routing_algorithm="ecube", rate=0.01)).run()
         assert result.delivered > 0 and result.misrouted_messages == 0
 
 

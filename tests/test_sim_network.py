@@ -36,15 +36,18 @@ class TestFaultFreeWiring:
         assert len(interchip) == 6 * 64  # each of 3 chips drives +1 and +2
 
     def test_baseline_pdr_chain_only(self):
-        net = build(fault_tolerant=False)
+        net = build(fault_tolerant=False, routing_algorithm="ecube")
         interchip = [c for c in net.channels if c.kind is ChannelKind.INTERCHIP]
         assert len(interchip) == 1 * 64  # only 0 -> 1
 
     def test_vc_counts(self):
         assert build().num_classes == 4
         assert build(topology="mesh").num_classes == 2
-        assert build(fault_tolerant=False).num_classes == 2
-        assert build(topology="mesh", fault_tolerant=False).num_classes == 1
+        assert build(fault_tolerant=False, routing_algorithm="ecube").num_classes == 2
+        assert (
+            build(topology="mesh", fault_tolerant=False, routing_algorithm="ecube").num_classes
+            == 1
+        )
         assert build(num_vcs=6).num_classes == 6
 
     def test_bisection_bandwidth(self):
@@ -103,7 +106,7 @@ class TestFaultyWiring:
         t = Torus(8, 2)
         fs = FaultSet.of(t, nodes=[(4, 4)])
         with pytest.raises(ValueError):
-            build(faults=fs, fault_tolerant=False)
+            build(faults=fs, fault_tolerant=False, routing_algorithm="ecube")
 
 
 class TestConfigValidation:
