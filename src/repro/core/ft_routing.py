@@ -83,6 +83,14 @@ class FaultTolerantRouting:
     #: channels (the parity-rank sharing rule keeps the CDG acyclic)
     supports_sharing = True
 
+    #: Non-misrouting decisions are a pure function of
+    #: (module, dst, msg_dim, wrapped, protocol, resume_direct, last_dim,
+    #: last_vc_class) — ``next_hop`` mutates state only through the
+    #: idempotent ``_advance_role`` while ``misroute is None``, and the
+    #: fault view is frozen per routing object.  The vector core's
+    #: allocation stage exploits this to memoize resolutions.
+    cacheable_decisions = True
+
     def __init__(
         self,
         network: GridNetwork,

@@ -38,11 +38,12 @@ class 1 dependencies strictly ascend it, and cross edges only ever go
 re-merge them.  The conformance suite checks the CDG mechanically per
 fault pattern, as required of every registered policy.
 
-The rank order roots at the highest-id healthy node: every node reaches
-the root by up hops along its BFS parent chain and the root reaches
-every node by down hops, so any connected fault pattern leaves every
-healthy pair routable (full coverage — unlike the avoidance heuristic in
-:mod:`.avoidance`).
+The rank order roots at the healthy node with the most healthy links
+(ties: most central, then lowest id — see :class:`UpDownOrder`): every
+node reaches the root by up hops along its BFS parent chain and the root
+reaches every node by down hops, so any connected fault pattern leaves
+every healthy pair routable (full coverage — unlike the avoidance
+heuristic in :mod:`.avoidance`).
 """
 
 from __future__ import annotations
@@ -63,11 +64,19 @@ Hop = Tuple[int, Direction]
 class UpDownOrder:
     """BFS rank order over the healthy subgraph.
 
-    ``rank(v) = (bfs_level, -node_id)`` with the highest-id healthy node
-    as root (level 0); a hop ``u -> v`` is *up* when ``rank(v) <
-    rank(u)``.  Up hops strictly decrease the rank, so the up-graph (and
-    symmetrically the down-graph) is acyclic, and every node has an
-    all-up path to the root (its BFS parent chain).
+    ``rank(v) = (bfs_level, -node_id)`` with the root at level 0; a hop
+    ``u -> v`` is *up* when ``rank(v) < rank(u)``.  Up hops strictly
+    decrease the rank, so the up-graph (and symmetrically the down-graph)
+    is acyclic, and every node has an all-up path to the root (its BFS
+    parent chain).
+
+    The root is the healthy node with the maximal healthy degree — every
+    up path funnels through the root's links, so the best-connected node
+    gives the up phase the most capacity and the shallowest BFS tree.
+    Ties prefer the most central node (smallest L1 offset from the array
+    midpoint, which keeps mesh trees balanced; on a fault-free torus
+    every node ties) and then the lowest node id, keeping the choice
+    deterministic for a given fault pattern.
     """
 
     def __init__(self, network: GridNetwork, faults: FaultSet):
@@ -83,7 +92,16 @@ class UpDownOrder:
             )
         self._rank: Dict[Coord, Tuple[int, int]] = {}
         if healthy:
-            root = max(healthy, key=network.node_id)
+            mid = network.radix - 1  # doubled midpoint: |2c - mid| stays integral
+
+            def root_key(coord: Coord) -> Tuple[int, int, int]:
+                return (
+                    -len(self._adjacency[coord]),
+                    sum(abs(2 * c - mid) for c in coord),
+                    network.node_id(coord),
+                )
+
+            root = min(healthy, key=root_key)
             level = {root: 0}
             queue = deque([root])
             while queue:

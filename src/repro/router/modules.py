@@ -48,7 +48,7 @@ class Module:
     """One router chip: input VCs waiting for route/VC allocation plus the
     output channels it drives."""
 
-    __slots__ = ("node_coord", "dim_index", "waiting", "rr", "outputs")
+    __slots__ = ("node_coord", "dim_index", "waiting", "outputs", "_st", "_mid", "_rr")
 
     def __init__(self, node_coord: Coord, dim_index: int):
         self.node_coord = node_coord
@@ -56,9 +56,35 @@ class Module:
         self.dim_index = dim_index
         #: input VCs holding an unrouted header
         self.waiting: List[VirtualChannel] = []
-        self.rr = 0
         #: (kind-specific key) -> PhysicalChannel driven by this module
         self.outputs: Dict[object, PhysicalChannel] = {}
+        self._st = None
+        self._mid = 0
+        self._rr = 0
+
+    def adopt(self, store) -> None:
+        """Move this module's arbiter counter into a network's SoA store
+        (modules built standalone keep a plain attribute)."""
+        mid = store.add_module()
+        store.module_rr[mid] = self._rr
+        self._st = store
+        self._mid = mid
+
+    @property
+    def rr(self) -> int:
+        """Round-robin arbiter position.  Deliberately *not* reduced
+        modulo the waiting count (the count varies cycle to cycle);
+        boundedness is asserted by the invariant tests."""
+        st = self._st
+        return st.module_rr[self._mid] if st is not None else self._rr
+
+    @rr.setter
+    def rr(self, value: int) -> None:
+        st = self._st
+        if st is not None:
+            st.module_rr[self._mid] = value
+        else:
+            self._rr = value
 
     def internode_out(self, dim: int, direction: Direction) -> Optional[PhysicalChannel]:
         return self.outputs.get(("node", dim, direction))
@@ -97,7 +123,7 @@ def sharing_set(
 class Resolution:
     """Where a header at a module input goes next."""
 
-    __slots__ = ("channel", "classes", "commit_decision")
+    __slots__ = ("channel", "classes", "class_mask", "commit_decision")
 
     def __init__(
         self,
@@ -107,6 +133,12 @@ class Resolution:
     ):
         self.channel = channel
         self.classes = classes
+        #: bitmask over ``classes`` — lets the vector core reject a fully
+        #: occupied channel against ``free_mask`` without iterating
+        mask = 0
+        for c in classes:
+            mask |= 1 << c
+        self.class_mask = mask
         #: the core routing decision to commit when this allocation is an
         #: internode hop (None for interchip / delivery moves)
         self.commit_decision = commit_decision

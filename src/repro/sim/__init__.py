@@ -1,52 +1,57 @@
-"""Flit-level wormhole network simulator."""
+"""Flit-level wormhole network simulator.
 
-from .config import SimulationConfig
-from .deadlock import DeadlockError, StuckWorm, stuck_worm_report, stuck_worm_snapshot
-from .engine import Simulator
-from .metrics import SimulationResult, batch_means_ci, percentile
-from .network import SimNetwork
-from .reconfiguration import ReconfigurationReport, TransitionWindow, apply_runtime_fault
-from .runner import default_rate_grid, run_point, saturation_utilization, sweep_rates
-from .sampling import GeometricSampler
-from .stages import AllocationStage, GenerationStage, InjectionStage, TransferStage
-from .stats import StatsCollector
-from .traffic import (
-    BitReversalTraffic,
-    HotspotTraffic,
-    TrafficPattern,
-    TransposeTraffic,
-    UniformTraffic,
-    make_traffic,
-)
+Re-exports are lazy (PEP 562): the router view layer imports
+:mod:`repro.sim.soa` at module load, so eagerly importing the engine
+here would create an import cycle (engine -> messages -> channels ->
+soa -> this package).
+"""
 
-__all__ = [
-    "AllocationStage",
-    "BitReversalTraffic",
-    "DeadlockError",
-    "GenerationStage",
-    "GeometricSampler",
-    "HotspotTraffic",
-    "InjectionStage",
-    "ReconfigurationReport",
-    "SimNetwork",
-    "SimulationConfig",
-    "SimulationResult",
-    "Simulator",
-    "StatsCollector",
-    "StuckWorm",
-    "TrafficPattern",
-    "TransferStage",
-    "TransitionWindow",
-    "TransposeTraffic",
-    "UniformTraffic",
-    "apply_runtime_fault",
-    "batch_means_ci",
-    "default_rate_grid",
-    "make_traffic",
-    "percentile",
-    "run_point",
-    "saturation_utilization",
-    "stuck_worm_report",
-    "stuck_worm_snapshot",
-    "sweep_rates",
-]
+_EXPORTS = {
+    "AllocationStage": ".stages",
+    "BitReversalTraffic": ".traffic",
+    "DeadlockError": ".deadlock",
+    "GenerationStage": ".stages",
+    "GeometricSampler": ".sampling",
+    "HotspotTraffic": ".traffic",
+    "InjectionStage": ".stages",
+    "ReconfigurationReport": ".reconfiguration",
+    "SimNetwork": ".network",
+    "SimulationConfig": ".config",
+    "SimulationResult": ".metrics",
+    "Simulator": ".engine",
+    "SoAState": ".soa",
+    "StatsCollector": ".stats",
+    "StuckWorm": ".deadlock",
+    "TrafficPattern": ".traffic",
+    "TransferStage": ".stages",
+    "TransitionWindow": ".reconfiguration",
+    "TransposeTraffic": ".traffic",
+    "UniformTraffic": ".traffic",
+    "apply_runtime_fault": ".reconfiguration",
+    "batch_means_ci": ".metrics",
+    "default_rate_grid": ".runner",
+    "make_traffic": ".traffic",
+    "percentile": ".metrics",
+    "run_point": ".runner",
+    "saturation_utilization": ".runner",
+    "stuck_worm_report": ".deadlock",
+    "stuck_worm_snapshot": ".deadlock",
+    "sweep_rates": ".runner",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

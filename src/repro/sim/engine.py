@@ -57,7 +57,7 @@ from .traffic import make_traffic
 
 #: environment override for the default simulation core
 _CORE_ENV = "REPRO_SIM_CORE"
-_CORES = ("active", "legacy")
+_CORES = ("active", "legacy", "vector")
 
 
 class Simulator:
@@ -79,6 +79,14 @@ class Simulator:
             core = os.environ.get(_CORE_ENV, "active")
         if core not in _CORES:
             raise ValueError(f"unknown simulation core {core!r}; expected one of {_CORES}")
+        if core == "vector":
+            try:
+                import numpy  # noqa: F401
+            except ImportError:
+                raise ImportError(
+                    'core="vector" needs numpy; install the optional extra '
+                    "with `pip install repro[fast]` (or pick core=\"active\")"
+                ) from None
         self.core = core
         self.config = config
         if network is not None:
@@ -159,8 +167,14 @@ class Simulator:
 
         # the pipeline; transfer first so the upstream stages can register
         # channels on its work-list
-        self.transfer = TransferStage(self)
-        self.allocation = AllocationStage(self, self.transfer)
+        if core == "vector":
+            from .vector import VectorAllocationStage, VectorTransferStage
+
+            self.transfer = VectorTransferStage(self)
+            self.allocation = VectorAllocationStage(self, self.transfer)
+        else:
+            self.transfer = TransferStage(self)
+            self.allocation = AllocationStage(self, self.transfer)
         self.injection = InjectionStage(self, self.transfer)
         self.generation = GenerationStage(self)
 

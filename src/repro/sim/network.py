@@ -29,6 +29,7 @@ from ..topology import (
     make_network,
 )
 from .config import SimulationConfig
+from .soa import SoAState
 
 
 class SimNetwork:
@@ -65,6 +66,9 @@ class SimNetwork:
         self.nodes: Dict[Coord, NodeModel] = {}
         self.channels: List[PhysicalChannel] = []
         self.modules: List[Module] = []
+        #: struct-of-arrays store holding ALL dynamic channel/VC/module
+        #: state; the channel/module objects are views over it
+        self.store = SoAState()
         self._build_nodes()
         self._wire_channels()
 
@@ -116,14 +120,21 @@ class SimNetwork:
                 )
             node.on_ring = coord in self._ring_nodes
             self.nodes[coord] = node
+            for module in node.modules:
+                module.adopt(self.store)
             self.modules.extend(node.modules)
 
     # ------------------------------------------------------------------
     def _new_channel(self, kind: ChannelKind, **kwargs) -> PhysicalChannel:
         channel = PhysicalChannel(
-            kind, self.num_classes, buffer_depth=self.config.buffer_depth, **kwargs
+            kind,
+            self.num_classes,
+            buffer_depth=self.config.buffer_depth,
+            store=self.store,
+            **kwargs,
         )
-        channel.index = len(self.channels)
+        # construction order == store index order == engine service order
+        assert channel.index == len(self.channels)
         self.channels.append(channel)
         return channel
 
@@ -195,16 +206,12 @@ class SimNetwork:
         queues, round-robin pointers) so the network can be reused by a
         fresh :class:`~repro.sim.engine.Simulator` — e.g. across the load
         points of a sweep."""
+        self.store.reset_dynamic()
         for channel in self.channels:
-            for vc in channel.vcs:
-                vc.reset()
             channel.busy.clear()
-            channel.rr = 0
-            channel.transfers = 0
             channel.active = False
         for module in self.modules:
             module.waiting.clear()
-            module.rr = 0
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -60,7 +60,7 @@ class GenerationStage:
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.sampler = GeometricSampler(sim.gen_rng) if sim.core == "active" else None
+        self.sampler = GeometricSampler(sim.gen_rng) if sim.core in ("active", "vector") else None
 
     def run(self, now: int) -> None:
         sim = self.sim
@@ -144,7 +144,7 @@ class InjectionStage:
             queue.popleft()
             vc.message = message
             vc.upstream = message.source
-            channel.busy.append(vc)
+            channel.busy_add(vc)
             activate(channel)
             message.injected_cycle = now
             sim.outstanding[coord] += 1
@@ -236,7 +236,7 @@ class AllocationStage:
                     )
                 downstream.message = vc.message
                 downstream.upstream = vc
-                resolution.channel.busy.append(downstream)
+                resolution.channel.busy_add(downstream)
                 activate(resolution.channel)
                 if tracer is not None:
                     tracer.on_vc_alloc(

@@ -1,12 +1,14 @@
-"""Cross-engine parity: the active-set core must be bit-for-bit
-result-identical to the legacy full-scan core.
+"""Cross-engine parity: the active-set and vector cores must be
+bit-for-bit result-identical to the legacy full-scan core.
 
-The two cores share the stage implementations but schedule them
-differently (work-lists + block sampling vs. full scans).  Everything
-observable — every counter, every batch statistic, every latency sample
-— must match exactly; any drift means the active-set bookkeeping skipped
-or reordered work.  See docs/architecture.md ("Determinism and the
-engine-parity guarantee").
+The scalar cores share the stage implementations but schedule them
+differently (work-lists + block sampling vs. full scans); the vector
+core replaces the transfer stage's inner loop with batched array
+evaluation over the struct-of-arrays state.  Everything observable —
+every counter, every batch statistic, every latency sample — must match
+exactly; any drift means bookkeeping skipped or reordered work.  See
+docs/architecture.md ("Determinism and the engine-parity guarantee" and
+"SoA state layout").
 """
 
 import random
@@ -14,6 +16,18 @@ import random
 import pytest
 
 from repro.sim import SimulationConfig, Simulator
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised in the numpy-free CI job
+    HAVE_NUMPY = False
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="vector core needs numpy")
+
+# every non-reference core, compared against "legacy" as the baseline
+ALT_CORES = ["active", pytest.param("vector", marks=needs_numpy)]
 
 # The fixed-seed configurations the integration suite measures the
 # paper's claims on (tests/test_integration.py), plus the corner cases
@@ -47,8 +61,14 @@ GOLDEN_CONFIGS = {
                   warmup_cycles=200, measure_cycles=1000, seed=8),
     "fashion": dict(topology="torus", radix=8, dims=2, rate=0.01, routing_algorithm="fashion",
                     warmup_cycles=300, measure_cycles=1000, seed=6, fault_percent=1),
+    # 5% faults skew healthy degrees, so these also pin the up*/down*
+    # root selection (max healthy degree, then centrality, then id)
+    "fashion-f5": dict(topology="torus", radix=8, dims=2, rate=0.01, routing_algorithm="fashion",
+                       warmup_cycles=300, measure_cycles=1000, seed=12, fault_percent=5),
     "adaptive-mesh": dict(topology="mesh", radix=8, dims=2, rate=0.01, routing_algorithm="adaptive",
                           warmup_cycles=300, measure_cycles=1000, seed=7, fault_percent=1),
+    "adaptive-f5": dict(topology="mesh", radix=8, dims=2, rate=0.01, routing_algorithm="adaptive",
+                        warmup_cycles=300, measure_cycles=1000, seed=12, fault_percent=5),
     "avoid": dict(topology="torus", radix=8, dims=2, rate=0.012, routing_algorithm="avoid",
                   warmup_cycles=200, measure_cycles=1000, seed=9),
     "uneven-batches": dict(topology="torus", radix=8, dims=2, rate=0.015,
@@ -84,33 +104,60 @@ def assert_results_identical(a, b):
 
 
 class TestGoldenParity:
+    @pytest.mark.parametrize("core", ALT_CORES)
     @pytest.mark.parametrize("name", sorted(GOLDEN_CONFIGS))
-    def test_cores_agree(self, name):
+    def test_cores_agree(self, name, core):
         _, legacy = run_core("legacy", GOLDEN_CONFIGS[name])
-        _, active = run_core("active", GOLDEN_CONFIGS[name])
-        assert_results_identical(legacy, active)
+        _, other = run_core(core, GOLDEN_CONFIGS[name])
+        assert_results_identical(legacy, other)
 
-    def test_drain_parity(self):
+    @pytest.mark.parametrize("core", ALT_CORES)
+    def test_drain_parity(self, core):
         kwargs = GOLDEN_CONFIGS["int-f1"]
         legacy_sim, legacy = run_core("legacy", kwargs, drain=True)
-        active_sim, active = run_core("active", kwargs, drain=True)
-        assert_results_identical(legacy, active)
-        assert legacy_sim.in_flight == active_sim.in_flight == 0
+        other_sim, other = run_core(core, kwargs, drain=True)
+        assert_results_identical(legacy, other)
+        assert legacy_sim.in_flight == other_sim.in_flight == 0
         # identical quiescence time: the drained clocks must agree too
-        assert legacy_sim.now == active_sim.now
-        assert legacy_sim._msg_counter == active_sim._msg_counter
+        assert legacy_sim.now == other_sim.now
+        assert legacy_sim._msg_counter == other_sim._msg_counter
 
-    def test_core_selection_surface(self):
+    def test_core_selection_surface(self, monkeypatch):
+        # pin the ambient default: CI runs this suite under
+        # REPRO_SIM_CORE=vector as well
+        monkeypatch.delenv("REPRO_SIM_CORE", raising=False)
         config = SimulationConfig(topology="torus", radix=4, dims=2, rate=0.01)
         assert Simulator(config).core == "active"
         assert Simulator(config, core="legacy").core == "legacy"
+        if HAVE_NUMPY:
+            assert Simulator(config, core="vector").core == "vector"
         with pytest.raises(ValueError):
             Simulator(config, core="warp")
 
-    def test_env_var_selects_core(self, monkeypatch):
+    @pytest.mark.parametrize(
+        "core", ["legacy", pytest.param("vector", marks=needs_numpy)]
+    )
+    def test_env_var_selects_core(self, monkeypatch, core):
         config = SimulationConfig(topology="torus", radix=4, dims=2, rate=0.01)
-        monkeypatch.setenv("REPRO_SIM_CORE", "legacy")
-        assert Simulator(config).core == "legacy"
+        monkeypatch.setenv("REPRO_SIM_CORE", core)
+        assert Simulator(config).core == core
+
+    def test_vector_without_numpy_names_the_extra(self, monkeypatch):
+        import builtins
+        import sys
+
+        config = SimulationConfig(topology="torus", radix=4, dims=2, rate=0.01)
+        real_import = builtins.__import__
+
+        def no_numpy(name, *args, **kwargs):
+            if name == "numpy" or name.startswith("numpy."):
+                raise ImportError("No module named 'numpy'")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.delitem(sys.modules, "numpy", raising=False)
+        monkeypatch.setattr(builtins, "__import__", no_numpy)
+        with pytest.raises(ImportError, match=r"repro\[fast\]"):
+            Simulator(config, core="vector")
 
 
 class TestRuntimeFaultParity:
@@ -120,24 +167,39 @@ class TestRuntimeFaultParity:
 
     FAULT = (900, dict(nodes=[(5, 5)]))
 
-    def test_mid_run_fault_parity(self):
+    @pytest.mark.parametrize("core", ALT_CORES)
+    def test_mid_run_fault_parity(self, core):
         kwargs = dict(topology="torus", radix=8, dims=2, rate=0.012,
                       warmup_cycles=300, measure_cycles=1200, seed=21)
         legacy_sim, legacy = run_core("legacy", kwargs, drain=True, fault=self.FAULT)
-        active_sim, active = run_core("active", kwargs, drain=True, fault=self.FAULT)
-        assert legacy.fault_events == active.fault_events == 1
-        assert_results_identical(legacy, active)
-        assert legacy_sim.now == active_sim.now
+        other_sim, other = run_core(core, kwargs, drain=True, fault=self.FAULT)
+        assert legacy.fault_events == other.fault_events == 1
+        assert_results_identical(legacy, other)
+        assert legacy_sim.now == other_sim.now
 
-    def test_fault_on_faulty_network_parity(self):
+    @pytest.mark.parametrize("core", ALT_CORES)
+    def test_fault_on_faulty_network_parity(self, core):
         from repro.topology import Direction
 
         kwargs = dict(topology="torus", radix=8, dims=2, rate=0.01, fault_percent=1,
                       warmup_cycles=300, measure_cycles=1200, seed=17)
         fault = (800, dict(links=[((1, 1), 0, Direction.POS)]))
         _, legacy = run_core("legacy", kwargs, drain=True, fault=fault)
-        _, active = run_core("active", kwargs, drain=True, fault=fault)
-        assert_results_identical(legacy, active)
+        _, other = run_core(core, kwargs, drain=True, fault=fault)
+        assert_results_identical(legacy, other)
+
+    @pytest.mark.parametrize("core", ALT_CORES)
+    def test_staged_reconfiguration_window_parity(self, core):
+        # detection_latency > 0 stages the fault through a transition
+        # window; the vector core must delegate those cycles to the
+        # scalar stages and resume batching afterwards with no drift
+        kwargs = dict(topology="torus", radix=8, dims=2, rate=0.012,
+                      warmup_cycles=300, measure_cycles=1200, seed=21,
+                      detection_latency=2)
+        legacy_sim, legacy = run_core("legacy", kwargs, drain=True, fault=self.FAULT)
+        other_sim, other = run_core(core, kwargs, drain=True, fault=self.FAULT)
+        assert_results_identical(legacy, other)
+        assert legacy_sim.now == other_sim.now
 
 
 class TestRandomizedParity:
@@ -177,6 +239,9 @@ class TestRandomizedParity:
         _, legacy = run_core("legacy", kwargs)
         _, active = run_core("active", kwargs)
         assert_results_identical(legacy, active)
+        if HAVE_NUMPY:
+            _, vector = run_core("vector", kwargs)
+            assert_results_identical(legacy, vector)
 
 
 class TestTracerNeutrality:
@@ -197,22 +262,25 @@ class TestTracerNeutrality:
         return tracer, result
 
     @pytest.mark.parametrize("name", TRACED_CONFIGS)
-    @pytest.mark.parametrize("core", ["legacy", "active"])
+    @pytest.mark.parametrize(
+        "core", ["legacy", "active", pytest.param("vector", marks=needs_numpy)]
+    )
     def test_traced_run_is_bit_identical_to_untraced(self, name, core):
         _, untraced = run_core(core, GOLDEN_CONFIGS[name])
         _, traced = self.run_traced(core, GOLDEN_CONFIGS[name])
         assert_results_identical(untraced, traced)
 
+    @pytest.mark.parametrize("core", ALT_CORES)
     @pytest.mark.parametrize("name", TRACED_CONFIGS)
-    def test_cores_emit_identical_event_streams(self, name):
+    def test_cores_emit_identical_event_streams(self, name, core):
         legacy_tracer, legacy = self.run_traced("legacy", GOLDEN_CONFIGS[name])
-        active_tracer, active = self.run_traced("active", GOLDEN_CONFIGS[name])
-        assert_results_identical(legacy, active)
-        assert len(legacy_tracer.events) == len(active_tracer.events)
-        assert legacy_tracer.events == active_tracer.events
+        other_tracer, other = self.run_traced(core, GOLDEN_CONFIGS[name])
+        assert_results_identical(legacy, other)
+        assert len(legacy_tracer.events) == len(other_tracer.events)
+        assert legacy_tracer.events == other_tracer.events
         legacy_series = [s.to_dict() for s in legacy_tracer.series.samples]
-        active_series = [s.to_dict() for s in active_tracer.series.samples]
-        assert legacy_series == active_series
+        other_series = [s.to_dict() for s in other_tracer.series.samples]
+        assert legacy_series == other_series
 
 
 class TestBatchNormalization:
