@@ -339,6 +339,31 @@ class ExecutionStats:
             )
         return base
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form of the accounting above.  This is the
+        schema behind the CLI's ``[repro] infra-json:`` line and the
+        service's ``/status`` payload — counters only, JSON-safe, with
+        the derived ratios precomputed so consumers don't re-implement
+        them."""
+        return {
+            "total": self.total,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_ratio": self.hit_ratio,
+            "executed": self.executed,
+            "failed": self.failed,
+            "jobs": self.jobs,
+            "pool_broken": self.pool_broken,
+            "wall_seconds": self.wall_seconds,
+            "infra_retries": self.infra_retries,
+            "infra_timeouts": self.infra_timeouts,
+            "infra_crashes": self.infra_crashes,
+            "infra_hung": self.infra_hung,
+            "infra_failures": self.infra_failures,
+            "quarantined": self.quarantined,
+            "replayed_failures": self.replayed_failures,
+        }
+
 
 @dataclass(frozen=True)
 class ProgressEvent:

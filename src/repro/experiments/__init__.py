@@ -1,7 +1,7 @@
 """Harnesses regenerating every table and figure of the paper's
 evaluation (Section 6)."""
 
-from .arena import ArenaCell, ArenaResult, arena
+from .arena import ArenaCell, ArenaResult, RuntimeFaultCell, arena
 from .campaign import campaign_report, chaos_report
 from .context import RunContext
 from .figures import (
@@ -20,6 +20,7 @@ from .tables import lemma1_evidence, table1, table2, tables_report
 __all__ = [
     "ArenaCell",
     "ArenaResult",
+    "RuntimeFaultCell",
     "PAPER",
     "PAPER_PEAK_UTILIZATION",
     "PAPER_RAW_THROUGHPUT",

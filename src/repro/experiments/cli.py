@@ -84,11 +84,16 @@ _COMMANDS: Dict[str, Callable[[RunContext], str]] = {
     "fsck": _fsck_report,
 }
 
+#: subcommands forwarded verbatim to ``python -m repro.service`` (they
+#: take service flags, not the shared experiment parents)
+_SERVICE_COMMANDS = ("serve", "submit", "status")
+
 _DESCRIPTIONS = {
     "arena": "tournament: every registered routing policy head-to-head "
     "across topologies, fault patterns, and loads",
-    "fig8": "Figure 8: FT-PDR torus under 0/1/5% faults",
-    "fig9": "Figure 9: FT-PDR mesh under 0/1/5% faults",
+    # argparse %-expands help strings, so literal percent signs are %%
+    "fig8": "Figure 8: FT-PDR torus under 0/1/5%% faults",
+    "fig9": "Figure 9: FT-PDR mesh under 0/1/5%% faults",
     "fig10": "Figure 10: pipelined vs unpipelined PDRs",
     "tables": "Tables 1 & 2 and the Lemma 1 CDG evidence",
     "throughput": "Section 6 raw throughput numbers",
@@ -100,6 +105,10 @@ _DESCRIPTIONS = {
     "fsck": "verify the on-disk result store: quarantine torn entries, "
     "remove orphaned temp files",
     "all": "every experiment in sequence",
+    "serve": "run the crash-surviving campaign service (HTTP job server; "
+    "see docs/service.md)",
+    "submit": "POST a job spec to a running campaign service",
+    "status": "print a running campaign service's /status payload",
 }
 
 
@@ -222,6 +231,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     for name in sorted(_COMMANDS) + ["all"]:
         subparsers.add_parser(name, parents=parents, help=_DESCRIPTIONS[name])
+    for name in _SERVICE_COMMANDS:
+        # help-listing stubs: real parsing happens in repro.service
+        # (main() forwards before this parser ever sees their argv)
+        subparsers.add_parser(name, add_help=False, help=_DESCRIPTIONS[name])
     return parser
 
 
@@ -281,6 +294,11 @@ def _make_context(args: argparse.Namespace) -> RunContext:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in _SERVICE_COMMANDS:
+        from ..service.__main__ import main as service_main
+
+        return service_main(argv)
     args = build_parser().parse_args(argv)
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
     ctx = _make_context(args)
@@ -308,6 +326,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{totals.infra_hung} hung), {totals.quarantined} quarantined",
             file=sys.stderr,
         )
+    # machine-readable twin of the cache/infra lines above — same schema
+    # the service serves from /status (ExecutionStats.to_dict)
+    print(
+        f"[repro] infra-json: {json.dumps(totals.to_dict(), sort_keys=True)}",
+        file=sys.stderr,
+    )
     report = "\n\n".join(chunks)
     print(report)
     if args.out:

@@ -1,0 +1,56 @@
+"""Simulation-as-a-service: a crash-surviving HTTP campaign server.
+
+The service turns the simulator into a backend: clients POST
+:class:`JobSpec` payloads (rate sweeps or fault-injection campaigns) and
+get content-hash job ids back; a bounded admission queue feeds the
+supervised executor; every state transition is journaled so a SIGKILL'd
+server restarts and converges every in-flight job bit-for-bit identical
+to an uninterrupted run.  See ``docs/service.md`` for the protocol and
+:mod:`repro.service.chaos` for the harness that enforces the guarantee.
+
+    python -m repro.service serve --root /tmp/svc --port 8642
+    python -m repro.service submit --root /tmp/svc --spec spec.json
+    python -m repro.service status --root /tmp/svc
+"""
+
+from .client import ClientError, ServiceClient, ServiceUnavailable
+from .jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    SpecError,
+)
+from .server import (
+    CampaignService,
+    Draining,
+    QueueFull,
+    deterministic_blob,
+    read_server_info,
+    result_payload,
+    serve,
+)
+
+__all__ = [
+    "CampaignService",
+    "ClientError",
+    "DONE",
+    "Draining",
+    "FAILED",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "QUEUED",
+    "QueueFull",
+    "RUNNING",
+    "ServiceClient",
+    "ServiceUnavailable",
+    "SpecError",
+    "deterministic_blob",
+    "read_server_info",
+    "result_payload",
+    "serve",
+]

@@ -1,0 +1,124 @@
+"""``python -m repro.service`` — run, feed, or inspect a campaign server.
+
+Thin argparse front end over :func:`repro.service.serve` and
+:class:`repro.service.ServiceClient`; ``repro-experiments
+serve/submit/status`` forwards here so both entry points stay in sync.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .client import ClientError, ServiceClient, ServiceUnavailable
+from .server import serve
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="The repro campaign service: a crash-surviving HTTP job "
+        "server over the experiment execution layer.",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="command", required=True)
+
+    serve_p = sub.add_parser("serve", help="run the server until drained")
+    serve_p.add_argument(
+        "--root",
+        required=True,
+        help="service root: journal, job directories, and the result store "
+        "all live here (restarting with the same root resumes)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="0 binds an ephemeral port; the bound address is published in "
+        "<root>/server.json either way",
+    )
+    serve_p.add_argument(
+        "--jobs", type=int, default=2, help="executor pool size per job"
+    )
+    serve_p.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="waiting jobs beyond this are shed with HTTP 429",
+    )
+
+    for name, help_text in (
+        ("submit", "POST a job spec (JSON file or '-' for stdin) and print "
+         "the job summary; --wait blocks for the result"),
+        ("status", "print the server's /status payload"),
+    ):
+        client_p = sub.add_parser(name, help=help_text)
+        client_p.add_argument(
+            "--root",
+            default="",
+            help="service root (address discovered from <root>/server.json)",
+        )
+        client_p.add_argument("--url", default="", help="explicit base URL instead")
+        client_p.add_argument(
+            "--attempts",
+            type=int,
+            default=10,
+            help="request retry budget (connection errors, 5xx, 429)",
+        )
+        if name == "submit":
+            client_p.add_argument(
+                "--spec", required=True, help="spec JSON path, or '-' for stdin"
+            )
+            client_p.add_argument(
+                "--wait",
+                action="store_true",
+                help="block until the job is terminal and print its result",
+            )
+            client_p.add_argument("--timeout", type=float, default=600.0)
+    return parser
+
+
+def _client(args: argparse.Namespace) -> ServiceClient:
+    target = args.url or args.root
+    if not target:
+        raise SystemExit("repro.service: need --root or --url")
+    return ServiceClient(target, attempts=args.attempts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return serve(
+            args.root,
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            max_queue=args.max_queue,
+        )
+    client = _client(args)
+    try:
+        if args.command == "submit":
+            if args.spec == "-":
+                payload = json.load(sys.stdin)
+            else:
+                with open(args.spec, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            summary = client.submit(payload)
+            if args.wait:
+                summary = client.wait(summary["job"], timeout=args.timeout)
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        elif args.command == "status":
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+    except ClientError as exc:
+        print(f"repro.service: {exc}", file=sys.stderr)
+        return 1
+    except ServiceUnavailable as exc:
+        print(f"repro.service: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

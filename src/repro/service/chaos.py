@@ -1,0 +1,414 @@
+"""Service-level chaos: prove the campaign server survives SIGKILL.
+
+:mod:`repro.exec.chaos` proves the *executor* survives killed workers
+and a killed sweep parent.  This harness climbs one level: the whole
+**server process** — HTTP listener, admission queue, runner, journal —
+is SIGKILLed at randomized points mid-campaign, restarted, and the
+*client* retries its submissions against the recovered server.  One
+chaos run:
+
+1. builds a deterministic job mix (a rate sweep and a fault-injection
+   campaign), and computes the ground truth up front by running every
+   job's tasks uninterrupted at ``jobs=1`` with no server at all;
+2. starts the server (``python -m repro.service serve``), submits the
+   jobs over HTTP, and watches checkpoint completions land in the
+   service root (``jobs/*/ckpt/*/done.jsonl``);
+3. after a seeded-random number of additional completions, SIGKILLs the
+   server, restarts it on a fresh ephemeral port, and re-submits every
+   job through the retrying client — which must dedupe (the journal
+   already knows the job) and resume, not restart;
+4. repeats for the requested number of kills, then waits for every job
+   to converge and the server to drain cleanly (SIGTERM).
+
+The run passes (:attr:`ServiceChaosReport.ok`) only if **every** job's
+recovered ``result.json`` is bit-for-bit identical (results + failures)
+to its uninterrupted baseline, the service's result store fscks clean,
+and the store holds *exactly* the expected entries — one per distinct
+cacheable point, zero duplicates.  Every kill decision comes from one
+seeded RNG, so a failing run is re-runnable.
+
+Run it standalone::
+
+    python -m repro.service.chaos --workdir /tmp/svc-chaos --radix 8 \\
+        --kills 2 --seed 1234 --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..exec.executor import execute
+from ..exec.fsck import FsckReport, fsck
+from ..exec.store import CODE_VERSION
+from ..sim.config import SimulationConfig
+from .client import ServiceClient
+from .jobs import JobSpec
+from .server import STORE_DIR, deterministic_blob, result_payload
+
+DEFAULT_RATES: Tuple[float, ...] = (0.004, 0.008, 0.012)
+
+
+def build_specs(
+    *,
+    radix: int = 8,
+    warmup: int = 200,
+    measure: int = 600,
+    fault_percent: int = 1,
+    sim_seed: int = 7,
+    rates: Sequence[float] = DEFAULT_RATES,
+) -> List[JobSpec]:
+    """The deterministic job mix every chaos run submits: one cacheable
+    point sweep plus one (non-cacheable, re-executed-on-resume) campaign
+    replay — together they cover both recovery paths."""
+    base = SimulationConfig(
+        topology="torus",
+        radix=radix,
+        dims=2,
+        rate=rates[0],
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+        fault_percent=fault_percent,
+        seed=sim_seed,
+    )
+    sweep = JobSpec(
+        kind="sweep",
+        config=base.to_canonical(),
+        rates=tuple(rates),
+        label="chaos sweep",
+    )
+
+    from ..reliability import FaultCampaign
+    from ..topology import make_network
+
+    start = max(1, warmup // 2)
+    interval = max(1, measure // 2)
+    campaign_config = SimulationConfig(
+        topology="torus",
+        radix=radix,
+        dims=2,
+        rate=rates[-1],
+        warmup_cycles=0,
+        measure_cycles=10,  # the replay manages its own measurement
+        seed=sim_seed,
+    )
+    campaign = FaultCampaign.rolling(
+        make_network(campaign_config.topology, radix, 2),
+        count=2,
+        start=start,
+        interval=interval,
+        seed=23,
+        kind="mixed",
+    )
+    campaign_spec = JobSpec(
+        kind="campaign",
+        config=campaign_config.to_canonical(),
+        campaign=campaign.to_canonical(),
+        settle_cycles=interval,
+        label="chaos campaign",
+    )
+    for spec in (sweep, campaign_spec):
+        spec.validate()
+    return [sweep, campaign_spec]
+
+
+def baseline_blobs(specs: Sequence[JobSpec]) -> Dict[str, str]:
+    """Ground truth: every job executed uninterrupted, in-process, with
+    no store, no checkpoint, no server."""
+    blobs: Dict[str, str] = {}
+    for spec in specs:
+        job_id = spec.job_id()
+        payloads, stats = execute(spec.build_tasks(), jobs=1, allow_failures=True)
+        blobs[job_id] = deterministic_blob(result_payload(job_id, payloads, stats))
+    return blobs
+
+
+@dataclass
+class ServiceChaosReport:
+    """What one :func:`run_service_chaos` campaign did and proved."""
+
+    workdir: str
+    jobs: int
+    rounds: int
+    kills: int
+    resubmissions: int
+    identical: bool
+    store_exact: bool  #: store holds exactly the expected entries
+    fsck_report: FsckReport
+    divergent: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return self.identical and self.store_exact and self.fsck_report.clean
+
+    def describe(self) -> str:
+        lines = [
+            f"service chaos {self.workdir}: {self.jobs} job(s), "
+            f"{self.rounds} server round(s), {self.kills} SIGKILL(s), "
+            f"{self.resubmissions} idempotent resubmission(s)",
+            "every job bit-for-bit identical to its uninterrupted jobs=1 run"
+            if self.identical
+            else f"RESULTS DIVERGED for job(s): {', '.join(self.divergent)}",
+            "store holds exactly the expected entries (no duplicates)"
+            if self.store_exact
+            else "STORE CONTENTS differ from the expected entry set",
+            self.fsck_report.describe(),
+            "service chaos PASSED" if self.ok else "service chaos FAILED",
+        ]
+        return "\n".join(lines)
+
+
+class _ServerHandle:
+    """One server process under the harness's control."""
+
+    def __init__(self, root: Path, *, jobs: int, log_path: Path):
+        self.root = root
+        self.jobs = jobs
+        self.log_path = log_path
+        self.proc: Optional[subprocess.Popen] = None
+
+    def start(self) -> None:
+        import repro
+
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        # stale server.json from a killed round must not be mistaken for
+        # a live server: remove it before the new process binds
+        try:
+            (self.root / "server.json").unlink()
+        except OSError:
+            pass
+        log = open(self.log_path, "a", encoding="utf-8")
+        log.write(f"--- server start (pid pending) ---\n")
+        log.flush()
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "serve",
+                "--root",
+                str(self.root),
+                "--jobs",
+                str(self.jobs),
+            ],
+            env=env,
+            stdout=log,
+            stderr=log,
+        )
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        info_path = self.root / "server.json"
+        while time.monotonic() < deadline:
+            if self.proc is not None and self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"server exited with {self.proc.returncode} before binding; "
+                    f"log tail:\n{self._log_tail()}"
+                )
+            if info_path.is_file():
+                return
+            time.sleep(0.02)
+        raise RuntimeError(f"server did not bind within {timeout:.0f}s")
+
+    def kill(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+
+    def terminate(self, timeout: float = 60.0) -> int:
+        assert self.proc is not None
+        if self.proc.poll() is None:
+            self.proc.terminate()
+        try:
+            return self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+            raise RuntimeError(
+                f"server ignored SIGTERM for {timeout:.0f}s; "
+                f"log tail:\n{self._log_tail()}"
+            )
+
+    def _log_tail(self, lines: int = 20) -> str:
+        try:
+            return "\n".join(
+                self.log_path.read_text(encoding="utf-8").splitlines()[-lines:]
+            )
+        except OSError:
+            return "<no log>"
+
+
+def _done_lines(root: Path) -> int:
+    total = 0
+    for path in (root / "jobs").glob("*/ckpt/*/done.jsonl"):
+        try:
+            total += len(path.read_text(encoding="utf-8").splitlines())
+        except OSError:
+            pass
+    return total
+
+
+def run_service_chaos(
+    workdir,
+    *,
+    radix: int = 8,
+    jobs: int = 2,
+    seed: int = 1234,
+    kills: int = 2,
+    warmup: int = 200,
+    measure: int = 600,
+    fault_percent: int = 1,
+    rates: Sequence[float] = DEFAULT_RATES,
+    progress_timeout: float = 240.0,
+    converge_timeout: float = 600.0,
+) -> ServiceChaosReport:
+    """Run the full service chaos campaign (see module docstring)."""
+    workdir = Path(workdir)
+    root = workdir / "svc"
+    root.mkdir(parents=True, exist_ok=True)
+    log_path = workdir / "server.log"
+
+    specs = build_specs(
+        radix=radix,
+        warmup=warmup,
+        measure=measure,
+        fault_percent=fault_percent,
+        rates=rates,
+    )
+    job_ids = [spec.job_id() for spec in specs]
+    baselines = baseline_blobs(specs)
+
+    rng = random.Random(seed)
+    server = _ServerHandle(root, jobs=jobs, log_path=log_path)
+    client = ServiceClient(root, attempts=20, timeout=30.0)
+
+    rounds = 0
+    killed = 0
+    resubmissions = 0
+    server.start()
+    server.wait_ready()
+    rounds += 1
+    for spec in specs:
+        summary = client.submit(spec.to_canonical())
+        assert summary["job"] in job_ids, summary
+
+    try:
+        while killed < kills:
+            threshold = _done_lines(root) + rng.randint(1, 3)
+            deadline = time.monotonic() + progress_timeout
+            fired = False
+            ticks = 0
+            while time.monotonic() < deadline:
+                if _done_lines(root) >= threshold:
+                    server.kill()
+                    killed += 1
+                    fired = True
+                    break
+                ticks += 1
+                if ticks % 25 == 0 and all(
+                    client.job(job_id).get("state") in ("done", "failed")
+                    for job_id in job_ids
+                ):
+                    break  # everything finished before this kill could land
+                time.sleep(0.02)
+            if not fired:
+                break
+            server.start()
+            server.wait_ready()
+            rounds += 1
+            # the client's whole point: blind resubmission after a crash
+            # must dedupe against the journal, never fork duplicate work
+            for spec in specs:
+                summary = client.submit(spec.to_canonical())
+                assert summary["job"] in job_ids, summary
+                resubmissions += 1
+
+        results: Dict[str, Dict[str, Any]] = {}
+        for job_id in job_ids:
+            results[job_id] = client.wait(job_id, timeout=converge_timeout)
+        code = server.terminate()
+        if code != 0:
+            raise RuntimeError(
+                f"server drain exited with {code}; log tail:\n{server._log_tail()}"
+            )
+    finally:
+        server.kill()
+
+    divergent = [
+        job_id
+        for job_id in job_ids
+        if deterministic_blob(results[job_id]) != baselines[job_id]
+    ]
+
+    # the store must hold exactly one entry per distinct cacheable config
+    expected_keys = set()
+    for spec in specs:
+        for task in spec.build_tasks():
+            if task.cacheable:
+                expected_keys.add(task.config.content_hash(CODE_VERSION))
+    store_root = root / STORE_DIR
+    actual_keys = {path.stem for path in store_root.glob("*/*.json")}
+    fsck_report = fsck(store_root)
+
+    return ServiceChaosReport(
+        workdir=str(workdir),
+        jobs=len(specs),
+        rounds=rounds,
+        kills=killed,
+        resubmissions=resubmissions,
+        identical=not divergent,
+        store_exact=actual_keys == expected_keys,
+        fsck_report=fsck_report,
+        divergent=divergent,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.chaos",
+        description="Chaos-test the campaign service: SIGKILL the server "
+        "mid-campaign, restart it, retry the clients, and verify every job "
+        "converges bit-for-bit identical to an uninterrupted jobs=1 run.",
+    )
+    parser.add_argument("--workdir", required=True)
+    parser.add_argument("--radix", type=int, default=8)
+    parser.add_argument("--jobs", type=int, default=2, help="executor pool size")
+    parser.add_argument("--kills", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--warmup", type=int, default=200)
+    parser.add_argument("--measure", type=int, default=600)
+    parser.add_argument("--fault-percent", type=int, default=1)
+    parser.add_argument(
+        "--rates",
+        default=",".join(repr(rate) for rate in DEFAULT_RATES),
+        help="comma-separated offered loads for the sweep job",
+    )
+    args = parser.parse_args(argv)
+    report = run_service_chaos(
+        args.workdir,
+        radix=args.radix,
+        jobs=args.jobs,
+        seed=args.seed,
+        kills=args.kills,
+        warmup=args.warmup,
+        measure=args.measure,
+        fault_percent=args.fault_percent,
+        rates=tuple(float(rate) for rate in args.rates.split(",")),
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -83,3 +83,32 @@ class TestArena:
         assert "arena" in _DESCRIPTIONS
         args = build_parser().parse_args(["arena", "--scale", "quick"])
         assert args.experiment == "arena"
+
+
+class TestRuntimeFaultCells:
+    def test_default_roster_replays_runtime_cells(self, tiny_scale):
+        """With the default roster the arena also ranks policies under
+        staged mid-run reconfiguration (the PR 7 follow-up)."""
+        result = run_tiny(fault_percents=(0,), policies=None)
+        assert [c.policy for c in result.runtime_cells] == list(
+            arena_module.RUNTIME_FAULT_POLICIES
+        )
+        events, _start, _interval, latency = arena_module._RUNTIME_SHAPE["quick"]
+        for cell in result.runtime_cells:
+            assert cell.topology == "torus"
+            assert cell.events == events
+            assert cell.detection_latency == latency
+            if cell.survived:
+                assert 0 <= cell.applied_events <= cell.events
+            else:
+                assert cell.error
+        text = result.render()
+        assert "runtime-fault tournament" in text
+        assert any("runtime-fault cells replayed" in note for note in result.notes)
+
+    def test_explicit_roster_skips_runtime_cells(self, tiny_scale):
+        """Explicit rosters (the CI smoke's cold/warm cache assertion)
+        must never trigger the non-cacheable campaign replays."""
+        result = run_tiny()
+        assert result.runtime_cells == []
+        assert "runtime-fault tournament" not in result.render()

@@ -240,3 +240,44 @@ class TestCli:
         assert "[repro] infra: 2 retries (2 crashes, 0 timeouts, 0 hung), " \
             "1 quarantined" in err
         assert "cache: 0 hits" in err
+
+
+class TestInfraJson:
+    def test_machine_readable_stats_line(self, capsys):
+        """Every invocation emits the ExecutionStats JSON twin of the
+        human cache/infra lines — same schema the service's /status
+        serves."""
+        import json as json_module
+
+        assert main(["tables"]) == 0
+        err = capsys.readouterr().err
+        lines = [l for l in err.splitlines() if l.startswith("[repro] infra-json: ")]
+        assert len(lines) == 1
+        payload = json_module.loads(lines[0][len("[repro] infra-json: "):])
+        for key in (
+            "total", "cache_hits", "hit_ratio", "executed",
+            "infra_retries", "infra_crashes", "infra_timeouts",
+            "infra_hung", "quarantined",
+        ):
+            assert key in payload
+        assert payload["infra_failures"] == (
+            payload["infra_crashes"] + payload["infra_timeouts"] + payload["infra_hung"]
+        )
+
+
+class TestServiceForwarding:
+    def test_service_subcommands_listed_in_help(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        for name in ("serve", "submit", "status"):
+            assert name in help_text
+
+    def test_forwards_to_service_cli(self, capsys):
+        """`repro-experiments status --root <empty>` forwards to
+        repro.service and fails cleanly (no server.json there)."""
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as empty:
+            code = main(["status", "--root", empty, "--attempts", "1"])
+        assert code == 2
+        assert "repro.service:" in capsys.readouterr().err

@@ -1,0 +1,67 @@
+"""Service-level chaos tests: SIGKILL the campaign server mid-campaign,
+restart it, retry the clients, and require bit-for-bit convergence with
+the uninterrupted ``jobs=1`` ground truth plus a clean store fsck.
+
+The small-radix case keeps the property in every tier-1 run; the 16x16
+case is the acceptance test for the service's restart-recovery headline
+(CI also runs the standalone harness as the ``service-smoke`` job).
+"""
+
+from repro.service.chaos import build_specs, run_service_chaos
+
+
+class TestBuildSpecs:
+    def test_deterministic_job_mix(self):
+        a = build_specs(radix=6)
+        b = build_specs(radix=6)
+        assert [spec.job_id() for spec in a] == [spec.job_id() for spec in b]
+        assert [spec.kind for spec in a] == ["sweep", "campaign"]
+
+    def test_covers_both_recovery_paths(self):
+        sweep, campaign = build_specs(radix=6)
+        # cacheable points resume via the store; campaign replays
+        # re-execute deterministically — both paths must be exercised
+        assert all(task.cacheable for task in sweep.build_tasks())
+        assert not any(task.cacheable for task in campaign.build_tasks())
+
+
+class TestServiceChaosSmall:
+    def test_kill_restart_retry_converges(self, tmp_path):
+        report = run_service_chaos(
+            tmp_path / "chaos",
+            radix=6,
+            jobs=2,
+            seed=1234,
+            kills=1,
+            warmup=150,
+            measure=400,
+        )
+        assert report.ok, report.describe()
+        assert report.identical
+        assert report.store_exact
+        assert report.fsck_report.clean
+        # at least the initial round ran; a kill implies a restart round
+        assert report.rounds >= report.kills + 1
+
+
+class TestServiceChaos16x16:
+    def test_acceptance_kill_and_resume(self, tmp_path):
+        """The PR's acceptance property at paper scale: SIGKILL the
+        server mid-campaign on a 16x16 torus, restart it, resubmit
+        through the retrying client, and require every job's recovered
+        result to be bit-for-bit identical to an uninterrupted jobs=1
+        run, with a clean fsck and zero duplicate store entries."""
+        report = run_service_chaos(
+            tmp_path / "chaos16",
+            radix=16,
+            jobs=2,
+            seed=4321,
+            kills=1,
+            warmup=150,
+            measure=450,
+            rates=(0.004, 0.008),
+        )
+        assert report.ok, report.describe()
+        assert report.kills == 1
+        assert report.rounds >= 2
+        assert report.resubmissions >= 2  # every job re-submitted post-restart
