@@ -90,6 +90,7 @@ class PointTask:
     config: SimulationConfig
     trace: Optional[Any] = None  #: :class:`repro.obs.TraceConfig`
     cacheable = True
+    kind = "point"
 
     def checkpoint_key(self, version: str = CODE_VERSION) -> str:
         # identical to the store key, so a checkpointed "ok" is servable
@@ -125,6 +126,7 @@ class CampaignTask:
     drain: bool = True
     trace: Optional[Any] = None  #: :class:`repro.obs.TraceConfig`
     cacheable = False
+    kind = "campaign"
 
     def checkpoint_key(self, version: str = CODE_VERSION) -> str:
         import hashlib
@@ -312,6 +314,20 @@ class ExecutionStats:
     replayed_failures: int = 0  #: failures served from a checkpoint
     #: :class:`repro.obs.ExecEvent` records for every infra incident.
     infra_events: List[Any] = field(default_factory=list)
+    #: per-task-kind outcome counters: ``{kind: {"done"|"cached"|"failed": n}}``
+    task_kinds: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def count_task(self, kind: str, outcome: str) -> None:
+        """Bump the ``{kind: {outcome: n}}`` counter (outcome is one of
+        ``done``/``cached``/``failed``)."""
+        per_kind = self.task_kinds.setdefault(kind, {})
+        per_kind[outcome] = per_kind.get(outcome, 0) + 1
+
+    def merge_task_kinds(self, other: "ExecutionStats") -> None:
+        for kind, outcomes in other.task_kinds.items():
+            per_kind = self.task_kinds.setdefault(kind, {})
+            for outcome, count in outcomes.items():
+                per_kind[outcome] = per_kind.get(outcome, 0) + count
 
     @property
     def cache_misses(self) -> int:
@@ -362,6 +378,9 @@ class ExecutionStats:
             "infra_failures": self.infra_failures,
             "quarantined": self.quarantined,
             "replayed_failures": self.replayed_failures,
+            "task_kinds": {
+                kind: dict(outcomes) for kind, outcomes in sorted(self.task_kinds.items())
+            },
         }
 
 
@@ -380,6 +399,12 @@ class ProgressEvent:
 # ----------------------------------------------------------------------
 # the executor
 # ----------------------------------------------------------------------
+
+
+def task_kind(task) -> str:
+    """A task's accounting label: its ``kind`` class attribute, falling
+    back to the lowercased class name for third-party task types."""
+    return getattr(type(task), "kind", type(task).__name__.lower())
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -757,6 +782,7 @@ def execute(
         status, payload = outcome
         if status == "ok":
             stats.executed += 1
+            stats.count_task(task_kind(tasks[index]), "done")
             if store is not None and tasks[index].cacheable:
                 result = payload.result if isinstance(payload, CampaignReplay) else payload
                 store.store(tasks[index].config, result)
@@ -769,6 +795,7 @@ def execute(
         else:
             cycle, message = None, payload
         stats.failed += 1
+        stats.count_task(task_kind(tasks[index]), "failed")
         stats.failures.append(
             TaskFailure(
                 index=index, kind=status, message=message, cycle=cycle, attempts=attempt
@@ -789,6 +816,7 @@ def execute(
             # it instead of re-running the task on every resume
             stats.failed += 1
             stats.replayed_failures += 1
+            stats.count_task(task_kind(task), "failed")
             stats.failures.append(
                 TaskFailure(
                     index=index,
@@ -807,6 +835,7 @@ def execute(
             hit = store.load(task.config)
         if hit is not None:
             stats.cache_hits += 1
+            stats.count_task(task_kind(task), "cached")
             if checkpoint is not None and record is None:
                 checkpoint.mark_ok(keys[index])
             finish(index, hit, cached=True)

@@ -13,6 +13,7 @@ argparse parents)::
     repro-experiments throughput --seed 3              # Section 6 raw numbers
     repro-experiments campaign --jobs 2                # runtime-fault survivability
     repro-experiments chaos --seed 3                   # arbitrary patterns, staged detection
+    repro-experiments mc --scale quick --jobs 4        # R(k) reliability curves
     repro-experiments trace --scale quick              # fully-traced faulty run
     repro-experiments fig8 --trace --trace-out traces  # trace any experiment
     repro-experiments fsck                             # verify the result store
@@ -49,6 +50,7 @@ from .campaign import campaign_report, chaos_report
 from .context import RunContext
 from .extension3d import ext3d
 from .figures import FigureResult, fig8, fig9, fig10, throughput_summary
+from .mccmd import mc_report
 from .tables import tables_report
 from .tracecmd import trace_report
 
@@ -80,6 +82,7 @@ _COMMANDS: Dict[str, Callable[[RunContext], str]] = {
     "ext3d": lambda ctx: ext3d(ctx.scale_name, ctx=ctx),
     "campaign": lambda ctx: campaign_report(ctx.scale_name, ctx=ctx),
     "chaos": lambda ctx: chaos_report(ctx.scale_name, ctx=ctx),
+    "mc": lambda ctx: mc_report(ctx.scale_name, ctx=ctx),
     "trace": lambda ctx: trace_report(ctx.scale_name, ctx=ctx),
     "fsck": _fsck_report,
 }
@@ -100,6 +103,9 @@ _DESCRIPTIONS = {
     "ext3d": "extension: 3D torus PDR under a cube fault",
     "campaign": "extension: runtime-fault survivability campaign",
     "chaos": "extension: arbitrary fault patterns through staged detection",
+    "mc": "Monte-Carlo reliability: R(k) = P(survive k random faults) "
+    "curves with CI-driven early stopping, plus the R(k) CSV artifact "
+    "(see docs/reliability_mc.md)",
     "trace": "observability: a fully-traced faulty run with exported "
     "event log, time series, and Chrome trace",
     "fsck": "verify the on-disk result store: quarantine torn entries, "
@@ -135,6 +141,13 @@ def _scale_parent() -> argparse.ArgumentParser:
         default="",
         help="for figure experiments: also dump the raw sweep results as JSON "
         "to this file (for plotting pipelines)",
+    )
+    parent.add_argument(
+        "--mc-csv",
+        default="",
+        metavar="PATH",
+        help="for the mc experiment: where to write the R(k) CSV artifact "
+        "('-' skips it; default: ./mc_curves_<scale>.csv)",
     )
     return parent
 
@@ -310,7 +323,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"jobs={args.jobs}) ...",
             file=sys.stderr,
         )
-        chunks.append(_COMMANDS[name](ctx))
+        if name == "mc" and args.mc_csv:
+            chunks.append(mc_report(ctx.scale_name, ctx=ctx, csv_path=args.mc_csv))
+        else:
+            chunks.append(_COMMANDS[name](ctx))
         print(f"[repro] {name} done in {time.time() - start:.1f}s", file=sys.stderr)
     totals = ctx.totals
     store_note = ctx.store.describe() if ctx.store is not None else "disabled"

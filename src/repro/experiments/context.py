@@ -73,7 +73,11 @@ class RunContext:
             policy=self.policy,
             resume=self.checkpoint_root,
         )
-        stats = result.stats
+        self.fold(result.stats)
+        return result
+
+    def fold(self, stats: ExecutionStats) -> None:
+        """Accumulate one execute/run's accounting into :attr:`totals`."""
         self.totals.total += stats.total
         self.totals.cache_hits += stats.cache_hits
         self.totals.executed += stats.executed
@@ -89,4 +93,4 @@ class RunContext:
         self.totals.quarantined += stats.quarantined
         self.totals.replayed_failures += stats.replayed_failures
         self.totals.infra_events.extend(stats.infra_events)
-        return result
+        self.totals.merge_task_kinds(stats)

@@ -1,0 +1,154 @@
+"""The ``repro-experiments mc`` harness: R(k) reliability curves.
+
+Runs a Monte-Carlo reliability plan (see :mod:`repro.mc`) over a ladder
+of fault counts for each scale's networks and two fault-handling
+registry policies, then attaches a small simulation tier to show the
+performance cost of surviving.  Produces the R(k) curve artifact as a
+CSV next to the human-readable report:
+
+* ``quick`` — 8x8 only, loose half-width target, seconds.
+* ``paper`` — 8x8 *and* 16x16, tighter target, minutes.
+
+``--resume DIR`` persists the shard tally log under DIR, so an
+interrupted run restarts where it stopped; ``--seed`` overrides the
+master seed (changing every pattern drawn).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from ..exec import ProgressEvent
+from ..mc import (
+    CellEstimate,
+    MCCell,
+    MCPlan,
+    MCProgress,
+    MCSettings,
+    curve_csv,
+    render_report,
+    run_plan,
+    run_simulation_tier,
+)
+from .context import RunContext
+from .settings import get_scale
+
+__all__ = ["mc_report", "build_plan", "MC_POLICIES"]
+
+#: the two fault-handling registry policies every scale compares
+MC_POLICIES: Tuple[str, ...] = ("ft", "adaptive")
+
+#: (node faults, link faults) ladders per scale name
+_LADDERS = {
+    "quick": ((0, 1), (1, 1), (2, 2)),
+    "paper": ((0, 1), (1, 1), (2, 2), (4, 10)),
+}
+
+_SETTINGS = {
+    "quick": MCSettings(half_width=0.04, shard_size=100, max_shards=8, min_shards=2),
+    "paper": MCSettings(half_width=0.02, shard_size=200, max_shards=25, min_shards=2),
+}
+
+
+def build_plan(scale_name: str = "", *, master_seed: int = 7) -> MCPlan:
+    """The scale's preset plan: fault-count ladder x radices x policies."""
+    scale = get_scale(scale_name)
+    radices = (8, 16) if scale.name == "paper" else (scale.radix,)
+    cells = tuple(
+        MCCell(
+            radix=radix,
+            num_node_faults=nodes,
+            num_link_faults=links,
+            policy=policy,
+        )
+        for radix in radices
+        for policy in MC_POLICIES
+        for nodes, links in _LADDERS[scale.name]
+    )
+    return MCPlan(cells=cells, settings=_SETTINGS[scale.name], master_seed=master_seed)
+
+
+def _sim_candidates(estimates: List[CellEstimate]) -> List[CellEstimate]:
+    """The simulation tier is an illustration, not a sweep: simulate only
+    the middle rung of the ladder (one node + one link fault)."""
+    return [
+        e
+        for e in estimates
+        if e.cell.num_node_faults == 1 and e.cell.num_link_faults == 1
+    ]
+
+
+def mc_report(
+    scale_name: str = "",
+    *,
+    ctx: Optional[RunContext] = None,
+    csv_path: str = "",
+    simulate: bool = True,
+) -> str:
+    """Run the preset plan and return the report.  Also writes the R(k)
+    CSV artifact to ``csv_path`` (default ``mc_curves_<scale>.csv`` in
+    the working directory; pass ``"-"`` to skip the file)."""
+    ctx = ctx if ctx is not None else RunContext()
+    scale = get_scale(scale_name or ctx.scale_name)
+    plan = build_plan(scale.name, master_seed=ctx.seed_or(7))
+
+    tally_log = None
+    if ctx.checkpoint_root:
+        root = Path(ctx.checkpoint_root)
+        root.mkdir(parents=True, exist_ok=True)
+        tally_log = root / f"mc_{plan.plan_key()}.tallies.jsonl"
+
+    def on_progress(progress: MCProgress) -> None:
+        if ctx.progress is None or progress.shards_done == 0:
+            return
+        ctx.progress(
+            f"mc {progress.cell_key}",
+            ProgressEvent(
+                index=progress.cell_index,
+                completed=progress.shards_done,
+                total=progress.shards_budget,
+                cached=False,
+                payload=None,
+            ),
+        )
+
+    outcome = run_plan(
+        plan,
+        jobs=ctx.jobs,
+        tally_log=tally_log,
+        policy=ctx.policy,
+        progress=on_progress,
+    )
+    ctx.fold(outcome.stats)
+
+    sim_rows = None
+    if simulate:
+        candidates = _sim_candidates(outcome.estimates)
+        if candidates:
+            sim_rows, sim_stats = run_simulation_tier(
+                candidates,
+                master_seed=plan.master_seed,
+                per_class=2 if scale.name == "paper" else 1,
+                jobs=ctx.jobs,
+                store=ctx.store,
+                policy=ctx.policy,
+                rate=scale.rate_grids[1][1],
+                warmup_cycles=min(scale.warmup_cycles, 500),
+                measure_cycles=min(scale.measure_cycles, 1_500),
+                seed=ctx.seed_or(1),
+            )
+            ctx.fold(sim_stats)
+
+    report = render_report(
+        outcome.estimates,
+        sim_rows=sim_rows,
+        title=f"Monte-Carlo reliability R(k) ({scale.name} scale)",
+    )
+    if csv_path != "-":
+        target = Path(csv_path or f"mc_curves_{scale.name}.csv")
+        target.write_text(curve_csv(outcome.estimates), encoding="utf-8")
+        report += f"\n\nR(k) CSV artifact: {target}"
+    if outcome.shards_resumed:
+        report += f"\n({outcome.shards_resumed} shard(s) served from the tally log)"
+    return report

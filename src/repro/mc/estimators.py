@@ -1,0 +1,190 @@
+"""Binomial interval estimators for Monte-Carlo reliability.
+
+The MC engine estimates survival probabilities R(k) = P(network
+survives k random faults) from Bernoulli tallies.  Two classical
+intervals are offered:
+
+* **Wilson score** (the default) — the score-test inversion.  Unlike
+  the naive Wald interval it never collapses to zero width at p-hat in
+  {0, 1}, which matters here because reliability cells routinely sit at
+  100% survival until k grows;
+* **Clopper-Pearson** — the exact tail-inversion interval, conservative
+  by construction.  Used when the report must guarantee coverage (the
+  validation-against-enumeration acceptance gate).
+
+Everything is stdlib: the normal quantile comes from
+:func:`statistics.NormalDist.inv_cdf` and the Beta quantiles that
+Clopper-Pearson needs are computed from the regularized incomplete beta
+function (Lentz's continued fraction) inverted by bisection.  All
+arithmetic is deterministic, so estimates derived from merged integer
+tallies are bit-for-bit identical however the tallies were produced.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Tuple
+
+__all__ = [
+    "Interval",
+    "wilson_interval",
+    "clopper_pearson_interval",
+    "binomial_interval",
+    "half_width",
+    "samples_for_half_width",
+    "INTERVAL_METHODS",
+]
+
+Interval = Tuple[float, float]
+
+INTERVAL_METHODS = ("wilson", "clopper-pearson")
+
+
+def _check(successes: int, trials: int, confidence: float) -> None:
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(f"bad tally: {successes} successes in {trials} trials")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Interval:
+    """The Wilson score interval for a binomial proportion."""
+    _check(successes, trials, confidence)
+    if trials == 0:
+        return (0.0, 1.0)
+    z = statistics.NormalDist().inv_cdf(1.0 - (1.0 - confidence) / 2.0)
+    n = float(trials)
+    p_hat = successes / n
+    denom = 1.0 + z * z / n
+    center = (p_hat + z * z / (2.0 * n)) / denom
+    spread = (z / denom) * math.sqrt(
+        p_hat * (1.0 - p_hat) / n + z * z / (4.0 * n * n)
+    )
+    # at the boundaries center - spread cancels to exactly 0 (resp. 1);
+    # pin it so callers can rely on hard 0/1 endpoints
+    lo = 0.0 if successes == 0 else max(0.0, center - spread)
+    hi = 1.0 if successes == trials else min(1.0, center + spread)
+    return (lo, hi)
+
+
+# ----------------------------------------------------------------------
+# regularized incomplete beta (for Clopper-Pearson)
+# ----------------------------------------------------------------------
+
+
+def _beta_cf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta function (Lentz)."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 400):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    return h
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """I_x(a, b), the CDF of the Beta(a, b) distribution at ``x``."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_cf(a, b, x) / a
+    return 1.0 - front * _beta_cf(b, a, 1.0 - x) / b
+
+
+def _beta_quantile(p: float, a: float, b: float) -> float:
+    """Inverse Beta CDF by bisection (monotone, so 100 halvings give
+    ~1e-30 bracketing — far below the estimator's statistical noise)."""
+    lo, hi = 0.0, 1.0
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if regularized_incomplete_beta(a, b, mid) < p:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def clopper_pearson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Interval:
+    """The exact (conservative) Clopper-Pearson interval."""
+    _check(successes, trials, confidence)
+    if trials == 0:
+        return (0.0, 1.0)
+    alpha = 1.0 - confidence
+    if successes == 0:
+        lo = 0.0
+    else:
+        lo = _beta_quantile(alpha / 2.0, successes, trials - successes + 1)
+    if successes == trials:
+        hi = 1.0
+    else:
+        hi = _beta_quantile(1.0 - alpha / 2.0, successes + 1, trials - successes)
+    return (lo, hi)
+
+
+def binomial_interval(
+    successes: int, trials: int, confidence: float = 0.95, method: str = "wilson"
+) -> Interval:
+    """Dispatch on ``method`` (one of :data:`INTERVAL_METHODS`)."""
+    if method == "wilson":
+        return wilson_interval(successes, trials, confidence)
+    if method == "clopper-pearson":
+        return clopper_pearson_interval(successes, trials, confidence)
+    raise ValueError(
+        f"unknown interval method {method!r}; expected one of {INTERVAL_METHODS}"
+    )
+
+
+def half_width(interval: Interval) -> float:
+    """Half the interval width — the early-stopping criterion."""
+    lo, hi = interval
+    return (hi - lo) / 2.0
+
+
+def samples_for_half_width(target: float, confidence: float = 0.95) -> int:
+    """Worst-case (p = 1/2) Wald sample size for a target half-width —
+    the planning bound used to size default shard budgets."""
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"target half-width must be in (0, 1), got {target}")
+    z = statistics.NormalDist().inv_cdf(1.0 - (1.0 - confidence) / 2.0)
+    return math.ceil((z / (2.0 * target)) ** 2)

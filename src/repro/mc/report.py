@@ -1,0 +1,174 @@
+"""Rendering MC results: R(k) curve tables, CSV artifacts, ASCII plots.
+
+The curve convention follows the n-D-mesh reliability paper (Safaei &
+ValadBeigi, PAPERS.md): the x axis is the total fault count ``k`` and
+the y axis is R(k) = P(survive k random faults), one series per
+(network, policy) pair, monotonically decreasing in k.  The CSV is the
+machine-readable artifact the acceptance criterion names; the table
+and chart are the human view printed by ``repro-experiments mc``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import ascii_chart, format_table
+from .engine import CellEstimate
+from .simulate import SimTierRow
+
+__all__ = ["curve_csv", "curve_table", "curve_chart", "render_report"]
+
+CSV_COLUMNS = (
+    "topology",
+    "radix",
+    "dims",
+    "policy",
+    "num_node_faults",
+    "num_link_faults",
+    "k",
+    "n",
+    "routable",
+    "degraded",
+    "fatal",
+    "p_survive",
+    "ci_lo",
+    "ci_hi",
+    "p_routable",
+    "early_stopped",
+    "shards_used",
+    "method",
+    "confidence",
+)
+
+
+def _series_name(estimate: CellEstimate) -> str:
+    cell = estimate.cell
+    return f"{cell.topology}{cell.radix} {cell.policy or 'any'}"
+
+
+def curve_csv(estimates: Sequence[CellEstimate]) -> str:
+    """The R(k) artifact: one row per cell, stable column order."""
+    out = io.StringIO()
+    out.write(",".join(CSV_COLUMNS) + "\n")
+    for estimate in estimates:
+        cell = estimate.cell
+        row = (
+            cell.topology,
+            cell.radix,
+            cell.dims,
+            cell.policy or "any",
+            cell.num_node_faults,
+            cell.num_link_faults,
+            cell.total_faults,
+            estimate.n,
+            estimate.counts.get("routable", 0),
+            estimate.counts.get("degraded", 0),
+            estimate.counts.get("fatal", 0),
+            f"{estimate.p_survive:.6f}",
+            f"{estimate.lo:.6f}",
+            f"{estimate.hi:.6f}",
+            f"{estimate.p_routable:.6f}",
+            int(estimate.early_stopped),
+            estimate.shards_used,
+            estimate.method,
+            estimate.confidence,
+        )
+        out.write(",".join(str(value) for value in row) + "\n")
+    return out.getvalue()
+
+
+def curve_table(estimates: Sequence[CellEstimate]) -> str:
+    headers = (
+        "network",
+        "policy",
+        "k(n+l)",
+        "samples",
+        "R(k)",
+        "95% CI",
+        "routable",
+        "degraded",
+        "fatal",
+        "stop",
+    )
+    rows = []
+    for estimate in estimates:
+        cell = estimate.cell
+        rows.append(
+            (
+                f"{cell.topology}{cell.radix}",
+                cell.policy or "any",
+                f"{cell.total_faults}({cell.num_node_faults}+{cell.num_link_faults})",
+                estimate.n,
+                f"{estimate.p_survive:.4f}",
+                f"[{estimate.lo:.4f}, {estimate.hi:.4f}]",
+                estimate.counts.get("routable", 0),
+                estimate.counts.get("degraded", 0),
+                estimate.counts.get("fatal", 0),
+                "early" if estimate.early_stopped else "budget",
+            )
+        )
+    return format_table(headers, rows)
+
+
+def curve_chart(estimates: Sequence[CellEstimate]) -> str:
+    """R(k) vs k, one ASCII series per (network, policy)."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for estimate in estimates:
+        series.setdefault(_series_name(estimate), []).append(
+            (float(estimate.cell.total_faults), estimate.p_survive)
+        )
+    for points in series.values():
+        points.sort()
+    return ascii_chart(series, x_label="faults k", y_label="R(k)")
+
+
+def _sim_tier_table(rows: Sequence[SimTierRow]) -> str:
+    headers = (
+        "cell",
+        "class",
+        "pattern",
+        "throughput",
+        "tp-ratio",
+        "latency",
+        "lat-ratio",
+    )
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            (
+                row.cell_key,
+                row.label,
+                row.pattern_index,
+                f"{row.throughput:.2f}",
+                f"{row.throughput_ratio:.3f}",
+                f"{row.avg_latency:.1f}",
+                f"{row.latency_ratio:.3f}",
+            )
+        )
+    return format_table(headers, table_rows)
+
+
+def render_report(
+    estimates: Sequence[CellEstimate],
+    *,
+    sim_rows: Optional[Sequence[SimTierRow]] = None,
+    title: str = "Monte-Carlo reliability",
+) -> str:
+    """The full human-readable report for one MC run."""
+    sections = [f"== {title} ==", "", curve_table(estimates), "", curve_chart(estimates)]
+    stopped = sum(1 for e in estimates if e.early_stopped)
+    total_samples = sum(e.n for e in estimates)
+    sections.append("")
+    sections.append(
+        f"{len(estimates)} cell(s), {total_samples} classified patterns; "
+        f"{stopped} cell(s) stopped early at the "
+        f"+/-{estimates[0].target_half_width:g} half-width target"
+        if estimates
+        else "(no cells)"
+    )
+    if sim_rows:
+        sections.append("")
+        sections.append("-- simulation tier (stratified subsample) --")
+        sections.append(_sim_tier_table(sim_rows))
+    return "\n".join(sections)

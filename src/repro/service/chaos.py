@@ -7,12 +7,13 @@ is SIGKILLed at randomized points mid-campaign, restarted, and the
 *client* retries its submissions against the recovered server.  One
 chaos run:
 
-1. builds a deterministic job mix (a rate sweep and a fault-injection
-   campaign), and computes the ground truth up front by running every
-   job's tasks uninterrupted at ``jobs=1`` with no server at all;
+1. builds a deterministic job mix (a rate sweep, a fault-injection
+   campaign, and a Monte-Carlo reliability job), and computes the
+   ground truth up front by running every job uninterrupted at
+   ``jobs=1`` with no server at all;
 2. starts the server (``python -m repro.service serve``), submits the
-   jobs over HTTP, and watches checkpoint completions land in the
-   service root (``jobs/*/ckpt/*/done.jsonl``);
+   jobs over HTTP, and watches durable completions land in the service
+   root (checkpoint ``done.jsonl`` lines and MC tally-log lines);
 3. after a seeded-random number of additional completions, SIGKILLs the
    server, restarts it on a fresh ephemeral port, and re-submits every
    job through the retrying client — which must dedupe (the journal
@@ -50,8 +51,8 @@ from ..exec.fsck import FsckReport, fsck
 from ..exec.store import CODE_VERSION
 from ..sim.config import SimulationConfig
 from .client import ServiceClient
-from .jobs import JobSpec
-from .server import STORE_DIR, deterministic_blob, result_payload
+from .jobs import TALLY_LOG_NAME, JobSpec
+from .server import STORE_DIR, deterministic_blob, mc_result_payload, result_payload
 
 DEFAULT_RATES: Tuple[float, ...] = (0.004, 0.008, 0.012)
 
@@ -66,8 +67,9 @@ def build_specs(
     rates: Sequence[float] = DEFAULT_RATES,
 ) -> List[JobSpec]:
     """The deterministic job mix every chaos run submits: one cacheable
-    point sweep plus one (non-cacheable, re-executed-on-resume) campaign
-    replay — together they cover both recovery paths."""
+    point sweep, one (non-cacheable, re-executed-on-resume) campaign
+    replay, and one Monte-Carlo reliability job (tally-log recovery) —
+    together they cover every recovery path the service has."""
     base = SimulationConfig(
         topology="torus",
         radix=radix,
@@ -114,9 +116,25 @@ def build_specs(
         settle_cycles=interval,
         label="chaos campaign",
     )
-    for spec in (sweep, campaign_spec):
+    from ..mc import MCCell, MCPlan, MCSettings
+
+    plan = MCPlan(
+        cells=(
+            MCCell(radix=radix, num_node_faults=1, num_link_faults=1),
+            MCCell(radix=radix, num_node_faults=1, num_link_faults=2, policy="ft"),
+        ),
+        # small shards so kills land mid-cell; a loose target that still
+        # stops early, leaving both stopping paths exercised on resume
+        settings=MCSettings(
+            half_width=0.05, shard_size=20, max_shards=6, min_shards=2
+        ),
+        master_seed=sim_seed,
+    )
+    mc_spec = JobSpec(kind="mc", mc=plan.to_payload(), label="chaos mc")
+
+    for spec in (sweep, campaign_spec, mc_spec):
         spec.validate()
-    return [sweep, campaign_spec]
+    return [sweep, campaign_spec, mc_spec]
 
 
 def baseline_blobs(specs: Sequence[JobSpec]) -> Dict[str, str]:
@@ -125,6 +143,12 @@ def baseline_blobs(specs: Sequence[JobSpec]) -> Dict[str, str]:
     blobs: Dict[str, str] = {}
     for spec in specs:
         job_id = spec.job_id()
+        if spec.kind == "mc":
+            from ..mc import run_plan
+
+            outcome = run_plan(spec.mc_plan(), jobs=1)
+            blobs[job_id] = deterministic_blob(mc_result_payload(job_id, outcome))
+            continue
         payloads, stats = execute(spec.build_tasks(), jobs=1, allow_failures=True)
         blobs[job_id] = deterministic_blob(result_payload(job_id, payloads, stats))
     return blobs
@@ -250,12 +274,15 @@ class _ServerHandle:
 
 
 def _done_lines(root: Path) -> int:
+    """Durable completions across every recovery substrate: checkpoint
+    marks for sweep/campaign jobs, tally-log shards for mc jobs."""
     total = 0
-    for path in (root / "jobs").glob("*/ckpt/*/done.jsonl"):
-        try:
-            total += len(path.read_text(encoding="utf-8").splitlines())
-        except OSError:
-            pass
+    for pattern in ("*/ckpt/*/done.jsonl", f"*/{TALLY_LOG_NAME}"):
+        for path in (root / "jobs").glob(pattern):
+            try:
+                total += len(path.read_text(encoding="utf-8").splitlines())
+            except OSError:
+                pass
     return total
 
 

@@ -1,7 +1,9 @@
 """Durable job model for the campaign service.
 
 A *job* is one unit of client-submitted work — a rate sweep of
-:class:`~repro.exec.executor.PointTask`\\ s or a fault-campaign replay —
+:class:`~repro.exec.executor.PointTask`\\ s, a fault-campaign replay, or
+a Monte-Carlo reliability plan (kind ``mc``, run through
+:func:`repro.mc.run_plan` with its own crash-safe tally log) —
 described entirely by a JSON-safe :class:`JobSpec`.  The spec's content
 hash (plus the store's code-version tag) **is** the job id, so
 resubmitting the same spec is idempotent by construction: the service
@@ -71,6 +73,7 @@ RESULT_NAME = "result.json"
 CHECKPOINT_DIR = "ckpt"
 TRACE_DIR = "trace"
 EXEC_EVENTS_NAME = "job.exec.jsonl"
+TALLY_LOG_NAME = "mc.tallies.jsonl"
 
 
 class SpecError(ValueError):
@@ -95,12 +98,14 @@ class JobSpec:
     different artifacts: ``trace``) are always distinct jobs.
     """
 
-    kind: str  #: "sweep" or "campaign"
+    kind: str  #: "sweep", "campaign" or "mc"
     config: Dict[str, Any] = field(default_factory=dict)
     rates: Tuple[float, ...] = ()
     seeds: Tuple[int, ...] = ()
     campaign: Optional[Dict[str, Any]] = None
     reliability: Optional[Dict[str, Any]] = None
+    #: canonical :class:`repro.mc.MCPlan` payload (kind ``mc`` only)
+    mc: Optional[Dict[str, Any]] = None
     settle_cycles: int = 1_000
     drain: bool = True
     #: per-job ExecPolicy overrides (None = executor defaults)
@@ -125,14 +130,17 @@ class JobSpec:
         if unknown:
             raise SpecError(f"unknown spec field(s): {', '.join(sorted(unknown))}")
         kind = payload.get("kind")
-        if kind not in ("sweep", "campaign"):
-            raise SpecError("spec kind must be 'sweep' or 'campaign'")
+        if kind not in ("sweep", "campaign", "mc"):
+            raise SpecError("spec kind must be 'sweep', 'campaign' or 'mc'")
         config = payload.get("config")
+        if kind == "mc":
+            config = config if config is not None else {}
         if not isinstance(config, dict):
             raise SpecError("spec needs a 'config' object (canonical SimulationConfig)")
         spec = cls(
             kind=kind,
             config=dict(config),
+            mc=payload.get("mc"),
             rates=tuple(float(r) for r in payload.get("rates", ())),
             seeds=tuple(int(s) for s in payload.get("seeds", ())),
             campaign=payload.get("campaign"),
@@ -157,6 +165,25 @@ class JobSpec:
     def validate(self) -> None:
         """Re-build every object the spec names so malformed submissions
         fail at admission, not inside a worker."""
+        if self.kind == "mc":
+            if self.config:
+                raise SpecError("mc jobs take an 'mc' plan, not a 'config'")
+            if self.campaign is not None or self.reliability is not None:
+                raise SpecError("mc jobs cannot carry a campaign/reliability section")
+            if self.rates or self.seeds:
+                raise SpecError("mc jobs take no rates/seeds (the plan names its cells)")
+            if self.trace:
+                raise SpecError("mc jobs do not produce obs traces")
+            if not isinstance(self.mc, dict):
+                raise SpecError("mc jobs need an 'mc' plan object (canonical MCPlan)")
+            try:
+                self.mc_plan()
+            except (TypeError, ValueError, KeyError) as exc:
+                raise SpecError(f"bad mc plan: {exc}") from exc
+            self._validate_policy_knobs()
+            return
+        if self.mc is not None:
+            raise SpecError("only mc jobs may carry an 'mc' plan section")
         try:
             base = SimulationConfig.from_canonical(self.config)
         except (TypeError, ValueError, KeyError) as exc:
@@ -186,6 +213,9 @@ class JobSpec:
                 replace(base, rate=rate)
             except ValueError as exc:
                 raise SpecError(f"bad rate {rate!r}: {exc}") from exc
+        self._validate_policy_knobs()
+
+    def _validate_policy_knobs(self) -> None:
         if self.settle_cycles < 0:
             raise SpecError("settle_cycles must be non-negative")
         if self.task_timeout is not None and self.task_timeout <= 0:
@@ -194,6 +224,14 @@ class JobSpec:
             raise SpecError("retries must be at least 1")
         if self.trace_window < 0:
             raise SpecError("trace_window must be non-negative")
+
+    def mc_plan(self) -> "Any":
+        """The validated :class:`repro.mc.MCPlan` an ``mc`` job runs."""
+        from ..mc import MCPlan
+
+        plan = MCPlan.from_payload(self.mc or {})
+        plan.validate()
+        return plan
 
     # ------------------------------------------------------------------
     # identity
@@ -240,7 +278,14 @@ class JobSpec:
         """The executor task list this job runs.  ``trace_config`` is the
         deployment-local :class:`repro.obs.TraceConfig` the service built
         for traced jobs (the spec only records *that* tracing was asked
-        for — output paths are not part of job identity)."""
+        for — output paths are not part of job identity).
+
+        ``mc`` jobs return no static task list: the MC engine spawns
+        :class:`repro.mc.MCShardTask`\\ s wave by wave until its
+        early-stopping rule fires (see :meth:`task_total` for the
+        budget ceiling used as the progress denominator)."""
+        if self.kind == "mc":
+            return []
         if self.kind == "campaign":
             from ..reliability import FaultCampaign, ReliabilityConfig
 
@@ -274,10 +319,24 @@ class JobSpec:
             max_attempts=self.retries if self.retries is not None else base.max_attempts,
         )
 
+    def task_total(self) -> int:
+        """The progress denominator: task count for static jobs, the
+        shard-budget ceiling for ``mc`` jobs (early stopping may finish
+        well under it)."""
+        if self.kind == "mc":
+            plan = self.mc or {}
+            cells = len(plan.get("cells", []))
+            max_shards = int(dict(plan.get("settings", {})).get("max_shards", 40))
+            return max(1, cells) * max(1, max_shards)
+        return len(self.build_tasks())
+
     def describe(self) -> str:
         if self.kind == "campaign":
             events = len((self.campaign or {}).get("events", []))
             return f"campaign ({events} event(s))"
+        if self.kind == "mc":
+            cells = len((self.mc or {}).get("cells", []))
+            return f"mc ({cells} cell(s))"
         return f"sweep ({max(1, len(self.rates)) * max(1, len(self.seeds) or 1)} point(s))"
 
 
@@ -410,6 +469,10 @@ class JobStore:
     def exec_events_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / EXEC_EVENTS_NAME
 
+    def tally_log_path(self, job_id: str) -> Path:
+        """The crash-safe MC shard-tally log (``mc`` jobs only)."""
+        return self.job_dir(job_id) / TALLY_LOG_NAME
+
     # --- journal -------------------------------------------------------
     def journal(self, op: str, job_id: str, **extra) -> None:
         record = {"op": op, "job": job_id, "pid": os.getpid()}
@@ -476,7 +539,7 @@ class JobStore:
                 continue  # a journaled job with no readable spec cannot run
             op = last_op[job_id]["op"]
             record = JobRecord(job_id=job_id, spec=spec, recovered=True)
-            record.total = len(spec.build_tasks())
+            record.total = spec.task_total()
             if op == "done" and self.load_result(job_id) is not None:
                 record.state = DONE
                 payload = self.load_result(job_id) or {}
@@ -499,7 +562,7 @@ class JobStore:
                 if spec is None:
                     continue
                 record = JobRecord(job_id=entry.name, spec=spec, recovered=True)
-                record.total = len(spec.build_tasks())
+                record.total = spec.task_total()
                 record.state = QUEUED
                 records[entry.name] = record
                 pending.append(entry.name)

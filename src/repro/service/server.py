@@ -153,6 +153,19 @@ def payload_to_json(payload: Any) -> Optional[Dict[str, Any]]:
     }
 
 
+def _failure_dicts(stats: ExecutionStats) -> List[Dict[str, Any]]:
+    return [
+        {
+            "index": f.index,
+            "kind": f.kind,
+            "message": f.message,
+            "cycle": f.cycle,
+            "attempts": f.attempts,
+        }
+        for f in stats.failures
+    ]
+
+
 def result_payload(
     job_id: str, payloads: List[Any], stats: ExecutionStats
 ) -> Dict[str, Any]:
@@ -163,17 +176,23 @@ def result_payload(
     return {
         "job": job_id,
         "results": [payload_to_json(p) for p in payloads],
-        "failures": [
-            {
-                "index": f.index,
-                "kind": f.kind,
-                "message": f.message,
-                "cycle": f.cycle,
-                "attempts": f.attempts,
-            }
-            for f in stats.failures
-        ],
+        "failures": _failure_dicts(stats),
         "stats": stats.to_dict(),
+    }
+
+
+def mc_result_payload(job_id: str, outcome: Any) -> Dict[str, Any]:
+    """The terminal ``result.json`` for an ``mc`` job: one deterministic
+    cell-estimate dict per plan cell (see
+    :meth:`repro.mc.CellEstimate.to_payload` — execution-shaped detail
+    is deliberately excluded, so a resumed run writes the identical
+    ``results``/``failures`` and :func:`deterministic_blob` compares
+    mc jobs exactly like sweeps and campaigns)."""
+    return {
+        "job": job_id,
+        "results": outcome.to_payload()["cells"],
+        "failures": _failure_dicts(outcome.stats),
+        "stats": outcome.stats.to_dict(),
     }
 
 
@@ -254,7 +273,7 @@ class CampaignService:
                 retry_after = max(2, 2 * len(self._queue))
                 raise QueueFull(len(self._queue), retry_after)
             record = JobRecord(job_id=job_id, spec=spec)
-            record.total = len(spec.build_tasks())
+            record.total = spec.task_total()
             self.job_store.write_spec(job_id, spec)
             self.job_store.journal("submit", job_id, kind=spec.kind)
             self.records[job_id] = record
@@ -288,6 +307,9 @@ class CampaignService:
         job_id = record.job_id
         spec = record.spec
         self.job_store.journal("start", job_id)
+        if spec.kind == "mc":
+            self._run_mc(record)
+            return
         trace_config = None
         if spec.trace:
             from ..obs import TraceConfig
@@ -340,6 +362,57 @@ class CampaignService:
             self._fold(stats)
         self._finish(record, DONE)
 
+    def _run_mc(self, record: JobRecord) -> None:
+        """Run one Monte-Carlo reliability plan.  Durability comes from
+        the job's :class:`repro.mc.TallyLog` (fsynced shard tallies under
+        the job directory) instead of a SweepCheckpoint: a restarted
+        server re-runs the plan, serves completed shards from the log,
+        and — because the early-stopping rule is prefix-exact — writes a
+        bit-for-bit identical result payload."""
+        from ..mc import MCProgress, run_plan
+
+        job_id = record.job_id
+        spec = record.spec
+        plan = spec.mc_plan()
+        with self._lock:
+            record.total = spec.task_total()
+        per_cell: Dict[int, int] = {}
+
+        def on_progress(progress: MCProgress) -> None:
+            with self._lock:
+                per_cell[progress.cell_index] = progress.shards_done
+                record.completed = sum(per_cell.values())
+                record.events.append(
+                    {
+                        "index": progress.cell_index,
+                        "completed": record.completed,
+                        "total": record.total,
+                        "cell": progress.cell_key,
+                        "samples": progress.samples,
+                        "stopped": progress.stopped,
+                    }
+                )
+                self._progress.notify_all()
+
+        outcome = run_plan(
+            plan,
+            jobs=self.jobs,
+            tally_log=self.job_store.tally_log_path(job_id),
+            policy=spec.exec_policy(),
+            progress=on_progress,
+        )
+        from ..obs.export import write_exec_jsonl
+
+        write_exec_jsonl(
+            outcome.stats.infra_events, self.job_store.exec_events_path(job_id)
+        )
+        payload = mc_result_payload(job_id, outcome)
+        self.job_store.write_result(job_id, payload)
+        with self._lock:
+            record.stats = payload["stats"]
+            self._fold(outcome.stats)
+        self._finish(record, DONE)
+
     def _finish(self, record: JobRecord, state: str, *, error: str = "") -> None:
         if state == FAILED:
             self.job_store.journal("failed", record.job_id, error=error)
@@ -368,6 +441,7 @@ class CampaignService:
         totals.replayed_failures += stats.replayed_failures
         totals.failures.extend(stats.failures)
         totals.infra_events.extend(stats.infra_events)
+        totals.merge_task_kinds(stats)
 
     # ------------------------------------------------------------------
     # introspection
@@ -375,8 +449,11 @@ class CampaignService:
     def status(self) -> Dict[str, Any]:
         with self._lock:
             states: Dict[str, int] = {}
+            kinds: Dict[str, Dict[str, int]] = {}
             for record in self.records.values():
                 states[record.state] = states.get(record.state, 0) + 1
+                per_kind = kinds.setdefault(record.spec.kind, {})
+                per_kind[record.state] = per_kind.get(record.state, 0) + 1
             return {
                 "pid": os.getpid(),
                 "root": str(self.root),
@@ -385,6 +462,7 @@ class CampaignService:
                 "queued": len(self._queue),
                 "draining": self._draining,
                 "job_states": states,
+                "job_kinds": kinds,
                 "stats": self.totals.to_dict(),
             }
 

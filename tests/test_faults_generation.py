@@ -1,6 +1,8 @@
 """Unit tests for random fault-pattern generation and validation."""
 
 import random
+import subprocess
+import sys
 
 import pytest
 
@@ -10,6 +12,7 @@ from repro.faults import (
     NonConvexFaultError,
     RingGeometryError,
     generate_fault_pattern,
+    generate_random_pattern,
     paper_fault_scenario,
     scaled_fault_counts,
     validate_fault_pattern,
@@ -118,3 +121,92 @@ class TestPaperScenarios:
     def test_scaled_counts_16x16_match_paper(self):
         assert scaled_fault_counts(Torus(16, 2), 5) == (4, 10)
         assert scaled_fault_counts(Mesh(16, 2), 1) == (1, 1)
+
+
+class TestScaledCountsEdges:
+    def test_zero_percent_is_always_fault_free(self):
+        for network in (Torus(4, 2), Torus(8, 2), Torus(16, 2), Mesh(16, 2)):
+            assert scaled_fault_counts(network, 0) == (0, 0)
+
+    def test_every_paper_percent_on_16x16(self):
+        t = Torus(16, 2)
+        for percent, counts in PAPER_FAULT_COUNTS.items():
+            assert scaled_fault_counts(t, percent) == counts
+
+    def test_small_networks_scale_down_but_stay_faulty(self):
+        # a nonzero percentage must never round away to a fault-free
+        # pattern, even on a 4x4 where 1% of 32 links is a fraction
+        for radix in (4, 8):
+            t = Torus(radix, 2)
+            nodes, links = scaled_fault_counts(t, 1)
+            assert nodes + links >= 1
+            assert nodes * 2 * t.dims + links <= t.num_links()
+
+    def test_link_fraction_tracks_the_target(self):
+        t = Torus(8, 2)
+        nodes, links = scaled_fault_counts(t, 5)
+        implied = nodes * 2 * t.dims + links
+        target = 0.05 * t.num_links()
+        assert abs(implied - target) <= 2 * t.dims  # one node fault of slack
+
+    def test_non_2d_radix_16_takes_the_scaled_path(self):
+        # the paper table is specifically 16x16 (dims=2); a 16-ary
+        # 3-cube must scale by its own link count instead
+        t3 = Torus(16, 3)
+        counts = scaled_fault_counts(t3, 5)
+        assert counts != PAPER_FAULT_COUNTS[5]
+        nodes, links = counts
+        implied = nodes * 2 * t3.dims + links
+        assert abs(implied - 0.05 * t3.num_links()) <= 2 * t3.dims
+
+
+class TestRandomPattern:
+    def test_k_zero_draws_the_empty_scenario(self):
+        scenario, info = generate_random_pattern(Torus(8, 2), 0, 0, random.Random(1))
+        assert scenario.faults.empty
+        assert scenario.num_regions == 0
+        assert not info.degraded_nodes
+        assert info.merges == 0
+
+    def test_k_at_documented_maximum(self):
+        # the paper's heaviest scenario (5% on 16x16) must be drawable
+        nodes, links = PAPER_FAULT_COUNTS[5]
+        scenario, _ = generate_random_pattern(
+            Torus(16, 2), nodes, links, random.Random(3)
+        )
+        # degradation may sacrifice extra nodes but never drops faults
+        assert len(scenario.faults.node_faults) >= nodes
+
+    def test_beyond_population_rejected(self):
+        t = Torus(4, 2)
+        with pytest.raises(ValueError):
+            generate_random_pattern(t, t.num_nodes + 1, 0, random.Random(0))
+
+    def test_seed_determinism_in_process(self):
+        a, _ = generate_random_pattern(Torus(8, 2), 2, 2, random.Random(42))
+        b, _ = generate_random_pattern(Torus(8, 2), 2, 2, random.Random(42))
+        assert a.faults == b.faults
+
+    def test_seed_determinism_across_processes(self):
+        """random.Random(seed) is stable across interpreters, so the same
+        seed must reproduce the same pattern in a fresh process."""
+        script = (
+            "import random\n"
+            "from repro.faults import generate_random_pattern\n"
+            "from repro.topology import Torus\n"
+            "s, _ = generate_random_pattern(Torus(8, 2), 2, 2, random.Random(42))\n"
+            "print(sorted(map(str, s.faults.node_faults)))\n"
+            "print(sorted(map(str, s.faults.link_faults)))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        here, _ = generate_random_pattern(Torus(8, 2), 2, 2, random.Random(42))
+        expected = (
+            f"{sorted(map(str, here.faults.node_faults))}\n"
+            f"{sorted(map(str, here.faults.link_faults))}\n"
+        )
+        assert out == expected

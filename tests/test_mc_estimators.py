@@ -1,0 +1,107 @@
+"""Tests for the stdlib binomial interval estimators."""
+
+import math
+
+import pytest
+
+from repro.mc import (
+    binomial_interval,
+    clopper_pearson_interval,
+    half_width,
+    samples_for_half_width,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_known_value(self):
+        # canonical worked example: 45/100 at 95%
+        lo, hi = wilson_interval(45, 100)
+        assert lo == pytest.approx(0.3561, abs=5e-4)
+        assert hi == pytest.approx(0.5476, abs=5e-4)
+
+    def test_contains_point_estimate(self):
+        for s, n in [(0, 10), (3, 10), (10, 10), (250, 1000)]:
+            lo, hi = wilson_interval(s, n)
+            assert lo <= s / n <= hi
+
+    def test_no_collapse_at_extremes(self):
+        # the reason Wilson is the default: p-hat = 1 still has width
+        lo, hi = wilson_interval(50, 50)
+        assert hi == 1.0
+        assert lo < 1.0
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0
+        assert hi > 0.0
+
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrows_with_samples(self):
+        widths = [half_width(wilson_interval(n // 2, n)) for n in (10, 100, 1000)]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_bad_tally_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 3, confidence=1.0)
+
+
+class TestClopperPearson:
+    def test_known_value(self):
+        lo, hi = clopper_pearson_interval(45, 100)
+        assert lo == pytest.approx(0.3503, abs=5e-4)
+        assert hi == pytest.approx(0.5527, abs=5e-4)
+
+    def test_conservative_vs_wilson(self):
+        # exact tail inversion is at least as wide as the score interval
+        for s, n in [(1, 20), (45, 100), (99, 100)]:
+            assert half_width(clopper_pearson_interval(s, n)) >= half_width(
+                wilson_interval(s, n)
+            ) - 1e-12
+
+    def test_extremes(self):
+        lo, hi = clopper_pearson_interval(0, 30)
+        assert lo == 0.0
+        # closed form at s=0: hi = 1 - (alpha/2)^(1/n)
+        assert hi == pytest.approx(1.0 - (0.025) ** (1 / 30), abs=1e-6)
+        lo, hi = clopper_pearson_interval(30, 30)
+        assert hi == 1.0
+        assert lo == pytest.approx((0.025) ** (1 / 30), abs=1e-6)
+
+    def test_zero_trials_is_vacuous(self):
+        assert clopper_pearson_interval(0, 0) == (0.0, 1.0)
+
+
+class TestDispatch:
+    def test_methods(self):
+        assert binomial_interval(5, 10, method="wilson") == wilson_interval(5, 10)
+        assert binomial_interval(5, 10, method="clopper-pearson") == (
+            clopper_pearson_interval(5, 10)
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            binomial_interval(5, 10, method="wald")
+
+
+class TestPlanning:
+    def test_samples_for_half_width(self):
+        # the classic +/-0.01 at 95% needs ~9604 worst-case samples
+        assert samples_for_half_width(0.01) == 9604
+        assert samples_for_half_width(0.05) == 385
+
+    def test_monotone_in_target(self):
+        assert samples_for_half_width(0.005) > samples_for_half_width(0.01)
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            samples_for_half_width(0.0)
+
+    def test_wilson_meets_planned_width(self):
+        n = samples_for_half_width(0.02)
+        assert half_width(wilson_interval(n // 2, n)) <= 0.02 + 1e-9
+        assert not math.isnan(n)

@@ -10,6 +10,8 @@ just get lucky.  The same campaign without the layer permanently loses
 the truncated worms.
 """
 
+import pytest
+
 from repro.reliability import (
     FaultCampaign,
     FaultEvent,
@@ -18,6 +20,9 @@ from repro.reliability import (
     replay_campaign,
 )
 from repro.sim import SimulationConfig, Simulator
+
+# 16x16 acceptance runs take minutes; the slow CI job runs them
+pytestmark = pytest.mark.slow
 
 CAMPAIGN = FaultCampaign(
     [

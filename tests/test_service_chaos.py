@@ -7,6 +7,8 @@ case is the acceptance test for the service's restart-recovery headline
 (CI also runs the standalone harness as the ``service-smoke`` job).
 """
 
+import pytest
+
 from repro.service.chaos import build_specs, run_service_chaos
 
 
@@ -15,14 +17,17 @@ class TestBuildSpecs:
         a = build_specs(radix=6)
         b = build_specs(radix=6)
         assert [spec.job_id() for spec in a] == [spec.job_id() for spec in b]
-        assert [spec.kind for spec in a] == ["sweep", "campaign"]
+        assert [spec.kind for spec in a] == ["sweep", "campaign", "mc"]
 
-    def test_covers_both_recovery_paths(self):
-        sweep, campaign = build_specs(radix=6)
+    def test_covers_every_recovery_path(self):
+        sweep, campaign, mc = build_specs(radix=6)
         # cacheable points resume via the store; campaign replays
-        # re-execute deterministically — both paths must be exercised
+        # re-execute deterministically; mc shards resume via the tally
+        # log (no executor tasks up front — the engine drives waves)
         assert all(task.cacheable for task in sweep.build_tasks())
         assert not any(task.cacheable for task in campaign.build_tasks())
+        assert mc.build_tasks() == []
+        assert mc.task_total() > 0
 
 
 class TestServiceChaosSmall:
@@ -44,6 +49,7 @@ class TestServiceChaosSmall:
         assert report.rounds >= report.kills + 1
 
 
+@pytest.mark.slow
 class TestServiceChaos16x16:
     def test_acceptance_kill_and_resume(self, tmp_path):
         """The PR's acceptance property at paper scale: SIGKILL the
